@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the platform itself (not tied to a paper table).
+
+These time the pieces whose cost the paper discusses qualitatively: evaluating
+the triangle queries eagerly, building the incremental dataflow state, and the
+per-step cost of an MCMC edge swap through the TbI plan.  They use the
+pytest-benchmark timing machinery properly (multiple rounds) since each
+operation is cheap and deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyses import protect_graph, triangles_by_degree_query, triangles_by_intersect_query
+from repro.core import PrivacySession, WeightedDataset
+from repro.dataflow import DataflowEngine
+from repro.graph import load_paper_graph
+from repro.inference import EdgeSwapWalk
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return load_paper_graph("CA-GrQc", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def protected(small_graph):
+    session = PrivacySession(seed=0)
+    return session, protect_graph(session, small_graph)
+
+
+@pytest.mark.benchmark(group="micro-eager")
+def test_eager_tbi_evaluation(benchmark, protected):
+    _, edges = protected
+    query = triangles_by_intersect_query(edges)
+    result = benchmark(query.evaluate_unprotected)
+    assert result["triangle"] > 0
+
+
+@pytest.mark.benchmark(group="micro-eager")
+def test_eager_tbd_evaluation(benchmark, protected):
+    _, edges = protected
+    query = triangles_by_degree_query(edges)
+    result = benchmark(query.evaluate_unprotected)
+    assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="micro-incremental")
+def test_dataflow_initialization(benchmark, protected):
+    session, edges = protected
+    query = triangles_by_intersect_query(edges)
+
+    def build():
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        return engine
+
+    engine = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert engine.state_entry_count() > 0
+
+
+@pytest.mark.benchmark(group="micro-incremental")
+def test_incremental_edge_swap_step(benchmark, protected, small_graph):
+    session, edges = protected
+    query = triangles_by_intersect_query(edges)
+    engine = DataflowEngine.from_plans([query.plan])
+    engine.initialize(session.environment())
+    walk = EdgeSwapWalk(small_graph.copy(), rng=1)
+
+    def swap_and_rollback():
+        proposal = walk.propose()
+        if proposal is None:
+            return
+        delta, *_ = proposal
+        engine.push("edges", delta)
+        engine.push("edges", {record: -change for record, change in delta.items()})
+
+    benchmark(swap_and_rollback)
+    # The engine's source must still equal the original graph after all the
+    # apply/rollback pairs.
+    expected = WeightedDataset.from_records(small_graph.to_edge_records())
+    assert engine.source_dataset("edges").distance(expected) < 1e-6

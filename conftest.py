@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites work even when
+the package has not been installed (the offline environment this reproduction
+targets cannot run PEP 660 editable installs; see README "Installation").
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

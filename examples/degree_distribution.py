@@ -1,0 +1,73 @@
+"""Differentially private degree distributions (Section 3.1).
+
+Measures the degree CCDF and degree sequence of a graph through wPINQ, then
+post-processes the two noisy views into a single consistent degree sequence
+with the joint lowest-cost-path fit, and compares the result against both the
+truth and the Hay et al. baseline (which needs the number of nodes to be
+public).
+
+Run with ``python examples/degree_distribution.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analyses import measure_degree_ccdf, measure_degree_sequence, protect_graph
+from repro.baselines import degree_sequence_error, hay_degree_sequence
+from repro.core import PrivacySession
+from repro.graph import degree_sequence as exact_degree_sequence
+from repro.graph import load_paper_graph
+from repro.postprocess import fit_degree_sequence, project_to_degree_sequence
+
+EPSILON = 0.2
+
+
+def main() -> None:
+    graph = load_paper_graph("CA-GrQc", scale=0.1)
+    truth = exact_degree_sequence(graph)
+    print(
+        f"stand-in CA-GrQc: {graph.number_of_nodes()} nodes, "
+        f"{graph.number_of_edges()} edges, dmax={graph.max_degree()}"
+    )
+
+    # ------------------------------------------------------------------
+    # Measure the two views of the degree distribution through wPINQ.
+    # Each measurement uses the edge dataset once, so the total cost is 2ε.
+    # ------------------------------------------------------------------
+    session = PrivacySession(seed=7)
+    edges = protect_graph(session, graph, total_epsilon=1.0)
+    ccdf = measure_degree_ccdf(edges, EPSILON)
+    sequence = measure_degree_sequence(edges, EPSILON)
+    print(f"privacy spent so far: {session.spent_budget('edges'):.2f} epsilon")
+
+    print("\nfirst ten noisy degree-sequence entries vs truth:")
+    for rank in range(10):
+        print(f"  rank {rank}: noisy={sequence[rank]:7.2f}   true={truth[rank] if rank < len(truth) else 0}")
+
+    # ------------------------------------------------------------------
+    # Post-process: jointly fit a non-increasing staircase to both views.
+    # ------------------------------------------------------------------
+    fitted = fit_degree_sequence(
+        sequence,
+        ccdf,
+        max_rank=graph.number_of_nodes() + 20,
+        max_degree=graph.max_degree() + 20,
+    )
+    joint_error = degree_sequence_error([float(v) for v in fitted], graph)
+
+    # Baselines for comparison: plain isotonic regression on the noisy
+    # sequence, and Hay et al. with the node count assumed public.
+    iso_only = project_to_degree_sequence([sequence[rank] for rank in range(len(truth))])
+    iso_error = degree_sequence_error([float(v) for v in iso_only], graph)
+    hay = hay_degree_sequence(graph, 2 * EPSILON)  # same total budget
+    hay_error = degree_sequence_error(hay, graph)
+
+    print("\nmean absolute error per rank:")
+    print(f"  raw wPINQ sequence + isotonic regression : {iso_error:7.3f}")
+    print(f"  Hay et al. baseline (public node count)  : {hay_error:7.3f}")
+    print(f"  joint CCDF + sequence path fit           : {joint_error:7.3f}")
+    print("\nfitted head of the degree sequence:", fitted[:15])
+    print("true head of the degree sequence:  ", truth[:15])
+
+
+if __name__ == "__main__":
+    main()

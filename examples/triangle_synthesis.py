@@ -1,0 +1,68 @@
+"""Synthesising a graph that respects triangle structure (Sections 4–5).
+
+The paper's flagship workflow:
+
+1. measure the secret graph's degree distribution and its Triangles-by-
+   Intersect (TbI) statistic through wPINQ (total privacy cost 7ε),
+2. throw the secret graph away,
+3. seed a synthetic graph from the DP degree sequence, and
+4. run Metropolis–Hastings with the incremental query engine until the
+   synthetic graph fits the released TbI measurement.
+
+As in Figure 4, the same pipeline run on a degree-preserving random twin of
+the graph (which has few triangles) stays near its seed value — MCMC only adds
+triangles when the released measurements call for them.
+
+Run with ``python examples/triangle_synthesis.py`` (takes ~1 minute).
+"""
+
+from __future__ import annotations
+
+from repro.analyses import protect_graph, triangles_by_intersect_query
+from repro.core import PrivacySession
+from repro.graph import paper_graph_with_twin, triangle_count
+from repro.inference import synthesize_graph
+
+EPSILON = 0.1
+MCMC_STEPS = 4000
+
+
+def synthesize(graph, label: str) -> None:
+    session = PrivacySession(seed=11)
+    edges = protect_graph(session, graph, total_epsilon=5.0)
+    tbi = triangles_by_intersect_query(edges)
+
+    outcome = synthesize_graph(
+        session,
+        edges,
+        fit_queries=[(tbi, EPSILON, "triangles_by_intersect")],
+        seed_epsilon=EPSILON,
+        mcmc_steps=MCMC_STEPS,
+        record_every=MCMC_STEPS // 5,
+        rng=3,
+    )
+
+    print(f"\n=== {label} ===")
+    print(f"true triangle count          : {triangle_count(graph)}")
+    print(f"seed graph triangle count    : {outcome.seed_triangles}")
+    print(f"after {MCMC_STEPS} MCMC steps : {outcome.synthetic_triangles}")
+    print(f"privacy cost                 : {outcome.privacy_cost['edges']:.2f} epsilon (= 7 x {EPSILON})")
+    print(f"MCMC throughput              : {outcome.mcmc_result.steps_per_second:.0f} steps/second")
+    print("trajectory (step -> synthetic triangles):")
+    for record in outcome.mcmc_result.trajectory:
+        print(f"  {record.step:6d} -> {record.metrics['triangles']:.0f}")
+
+
+def main() -> None:
+    graph, twin = paper_graph_with_twin("CA-GrQc", scale=0.08)
+    print(
+        f"CA-GrQc stand-in: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges; "
+        f"its random twin has the same degrees but "
+        f"{triangle_count(twin)} triangles instead of {triangle_count(graph)}"
+    )
+    synthesize(graph, "CA-GrQc stand-in (real structure)")
+    synthesize(twin, "Random(GrQc) twin (sanity check)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment used for this reproduction has no network access
+and no ``wheel`` package, so PEP 517/660 editable installs (which need to
+build a wheel) are unavailable.  Keeping a classic ``setup.py`` alongside
+``pyproject.toml`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""wPINQ: differentially private analysis of weighted datasets.
+
+A from-scratch Python reproduction of
+
+    Proserpio, Goldberg, McSherry.
+    "Calibrating Data to Sensitivity in Private Data Analysis"
+    (PVLDB 7(8), 2014)
+
+The package is organised as follows:
+
+``repro.core``
+    Weighted datasets, stable transformations, the fluent wPINQ query
+    language, Laplace aggregation and privacy-budget accounting.
+``repro.dataflow``
+    The incremental (view-maintenance style) query evaluation engine that
+    makes MCMC over synthetic datasets fast.
+``repro.graph``
+    Graph substrate: data structures, statistics, generators and the
+    synthetic stand-ins for the paper's evaluation graphs.
+``repro.analyses``
+    The paper's graph queries: degree CCDF/sequence, joint degree
+    distribution, triangles-by-degree, triangles-by-intersect,
+    squares-by-degree and generic motif counting.
+``repro.inference``
+    Metropolis–Hastings probabilistic inference over synthetic graphs fit to
+    released wPINQ measurements, including the full graph-synthesis workflow.
+``repro.postprocess``
+    Consistency post-processing (isotonic regression, joint CCDF/degree
+    sequence path fitting).
+``repro.baselines``
+    Prior bespoke approaches the paper compares against (Hay et al. degree
+    distributions, Sala et al. joint degree distribution, worst-case
+    sensitivity triangle counting).
+``repro.experiments``
+    Shared harness used by the benchmark suite to regenerate the paper's
+    tables and figures.
+"""
+
+from .core import (
+    LaplaceNoise,
+    NoisyCountResult,
+    PrivacySession,
+    Queryable,
+    WeightedDataset,
+)
+from .exceptions import (
+    BudgetExceededError,
+    DataflowError,
+    GraphError,
+    InvalidEpsilonError,
+    PlanError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WeightedDataset",
+    "PrivacySession",
+    "Queryable",
+    "NoisyCountResult",
+    "LaplaceNoise",
+    "ReproError",
+    "BudgetExceededError",
+    "InvalidEpsilonError",
+    "PlanError",
+    "DataflowError",
+    "GraphError",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Degree-correlation statistics derived from the JDD measurement.
+
+One of the paper's motivations for probabilistic inference (Section 1.2,
+benefit #3) is that released measurements constrain statistics the analyst
+never asked about directly: the joint degree distribution pins down the
+graph's assortativity, so either a synthetic graph fit to the JDD — or the
+JDD measurement itself — yields an assortativity estimate at no extra privacy
+cost.  This module provides that post-processing: everything here operates on
+*released* values, so by the post-processing property of differential privacy
+no additional budget is spent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..core.aggregation import NoisyCountResult
+from .joint_degree import rescale_jdd_measurement
+
+__all__ = [
+    "assortativity_from_jdd",
+    "estimate_assortativity",
+    "mean_neighbor_degree_by_degree",
+]
+
+
+def assortativity_from_jdd(jdd_counts: Mapping[Any, float]) -> float:
+    """Assortativity r implied by (possibly noisy) directed JDD counts.
+
+    ``jdd_counts`` maps degree pairs ``(d_a, d_b)`` to the number of directed
+    edges whose endpoints have those degrees (the Newman definition computes
+    the Pearson correlation of endpoint degrees over directed edges, so an
+    undirected JDD should be fed in with both orientations or with its counts
+    doubled — a uniform scaling does not change the correlation).  Negative
+    counts, which Laplace noise can produce, are clamped to zero; if no
+    positive mass remains the function returns 0.0, matching the convention of
+    :func:`repro.graph.statistics.assortativity` for degenerate graphs.
+    """
+    total = 0.0
+    sum_x = 0.0
+    sum_y = 0.0
+    sum_xy = 0.0
+    sum_xx = 0.0
+    sum_yy = 0.0
+    for record, count in jdd_counts.items():
+        weight = max(0.0, float(count))
+        if weight == 0.0:
+            continue
+        degree_a, degree_b = record
+        x = float(degree_a)
+        y = float(degree_b)
+        total += weight
+        sum_x += weight * x
+        sum_y += weight * y
+        sum_xy += weight * x * y
+        sum_xx += weight * x * x
+        sum_yy += weight * y * y
+    if total <= 0.0:
+        return 0.0
+    mean_x = sum_x / total
+    mean_y = sum_y / total
+    cov = sum_xy / total - mean_x * mean_y
+    var_x = sum_xx / total - mean_x * mean_x
+    var_y = sum_yy / total - mean_y * mean_y
+    denominator = math.sqrt(max(var_x, 0.0) * max(var_y, 0.0))
+    if denominator <= 1e-12:
+        return 0.0
+    return cov / denominator
+
+
+def estimate_assortativity(measurement: NoisyCountResult) -> float:
+    """Assortativity implied by a released JDD measurement.
+
+    Rescales the measurement's per-record weights back into directed edge
+    counts (undoing the ``1/(2 + 2 d_a + 2 d_b)`` record weight of the wPINQ
+    JDD query) and computes the correlation.  Pure post-processing: no privacy
+    budget is consumed.
+    """
+    return assortativity_from_jdd(rescale_jdd_measurement(measurement))
+
+
+def mean_neighbor_degree_by_degree(jdd_counts: Mapping[Any, float]) -> dict[int, float]:
+    """Average neighbour degree ``k_nn(d)`` for each source degree ``d``.
+
+    The standard second-order degree-correlation profile (the statistic the
+    dK-2 generator of Mahadevan et al. targets): for every degree ``d`` the
+    expected degree of the other endpoint of a uniformly random directed edge
+    leaving a degree-``d`` vertex.  Noisy negative counts are clamped to zero.
+    """
+    numerator: dict[int, float] = {}
+    denominator: dict[int, float] = {}
+    for record, count in jdd_counts.items():
+        weight = max(0.0, float(count))
+        if weight == 0.0:
+            continue
+        degree_a, degree_b = record
+        degree_a = int(degree_a)
+        numerator[degree_a] = numerator.get(degree_a, 0.0) + weight * float(degree_b)
+        denominator[degree_a] = denominator.get(degree_a, 0.0) + weight
+    return {
+        degree: numerator[degree] / denominator[degree]
+        for degree in numerator
+        if denominator[degree] > 0.0
+    }

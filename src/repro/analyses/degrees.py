@@ -1,0 +1,97 @@
+"""Degree distribution analyses (Section 3.1).
+
+Hay et al. showed that the non-decreasing degree sequence with Laplace noise
+is differentially private *if the number of nodes is public*, and that
+isotonic regression removes much of the noise.  The wPINQ formulation below
+reproduces that analysis without revealing the number of nodes: the query
+produces a non-increasing sequence that simply continues with noisy zeros
+forever, and the analyst decides where it ends.
+
+Two complementary views of the same information are measured:
+
+* the **degree CCDF** — record ``i`` carries the number of nodes with degree
+  greater than ``i``;
+* the **degree sequence** — record ``j`` carries the degree of the ``j``-th
+  highest-degree node,
+
+which are functional inverses of each other (exchange the axes).  Measuring
+both lets the post-processing in :mod:`repro.postprocess.pathfit` fit a single
+monotone staircase to the two noisy measurements simultaneously, which is
+noticeably more accurate than regressing either one alone.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregation import NoisyCountResult
+from ..core.queryable import Queryable
+
+__all__ = [
+    "degree_ccdf_query",
+    "degree_sequence_query",
+    "node_count_query",
+    "measure_degree_ccdf",
+    "measure_degree_sequence",
+    "measure_node_count",
+]
+
+from .common import nodes_from_edges
+
+
+def degree_ccdf_query(edges: Queryable) -> Queryable:
+    """The degree CCDF as a wPINQ query over the symmetric edge set.
+
+    ``edges.Select(src).Shave(1.0).Select(index)``: after Select, vertex ``a``
+    has weight ``d_a``; Shave splits it into unit slices ``(a, 0) ... (a,
+    d_a−1)``; keeping only the slice index accumulates, at record ``i``, one
+    unit of weight per node of degree greater than ``i``.
+
+    Privacy: uses the edge dataset once, so a measurement at ε costs ε.
+    """
+    return (
+        edges.select(lambda edge: edge[0])
+        .shave(1.0)
+        .select(lambda record: record[1])
+    )
+
+
+def degree_sequence_query(edges: Queryable) -> Queryable:
+    """The non-increasing degree sequence as a wPINQ query.
+
+    Obtained from the CCDF by exchanging the axes — which in wPINQ is just a
+    second Shave/Select pair: record ``j`` ends up carrying the number of
+    CCDF records with weight at least ``j``, i.e. the ``j``-th largest degree.
+
+    Privacy: uses the edge dataset once.
+    """
+    return (
+        degree_ccdf_query(edges)
+        .shave(1.0)
+        .select(lambda record: record[1])
+    )
+
+
+def node_count_query(edges: Queryable) -> Queryable:
+    """A single record ``"node"`` whose weight is half the number of nodes.
+
+    Built from :func:`~repro.analyses.common.nodes_from_edges`; the analyst
+    doubles the released value to estimate ``|V|``.  Used when seeding the
+    synthesis workflow (the seed generator needs to know roughly how many
+    nodes to create).
+    """
+    return nodes_from_edges(edges).select(lambda node: "node")
+
+
+def measure_degree_ccdf(edges: Queryable, epsilon: float) -> NoisyCountResult:
+    """Measure the degree CCDF with ``Laplace(1/ε)`` noise per entry."""
+    return degree_ccdf_query(edges).noisy_count(epsilon, query_name="degree_ccdf")
+
+
+def measure_degree_sequence(edges: Queryable, epsilon: float) -> NoisyCountResult:
+    """Measure the non-increasing degree sequence with ``Laplace(1/ε)`` noise."""
+    return degree_sequence_query(edges).noisy_count(epsilon, query_name="degree_sequence")
+
+
+def measure_node_count(edges: Queryable, epsilon: float) -> float:
+    """Estimate the number of nodes: twice the released half-count."""
+    result = node_count_query(edges).noisy_count(epsilon, query_name="node_count")
+    return 2.0 * result.value("node")

@@ -1,0 +1,145 @@
+"""Generic path and cycle (motif) machinery (Section 3.5).
+
+The triangle and square queries are instances of a general recipe: build
+length-``k`` paths by repeatedly joining the edge set with itself, then tease
+out the desired subgraph structure with further joins or intersections.  This
+module provides that recipe for arbitrary ``k``:
+
+* :func:`paths_query` — all simple directed paths on ``k`` edges;
+* :func:`cycles_by_intersect_query` — the TbI idea generalised: a length-
+  ``(k−1)`` path survives intersection with its own rotation exactly when it
+  closes into a ``k``-cycle, and all surviving weight is funnelled onto one
+  record.
+
+As the paper notes, general motif queries mix records of varying weight, so
+single released numbers are hard to interpret directly — but they are exactly
+the kind of measurement the probabilistic-inference workflow of Section 4 can
+consume, because MCMC only needs the forward query, not its interpretation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..core.aggregation import NoisyCountResult
+from ..core.queryable import Queryable
+from .common import length_two_paths, node_degrees, rotate
+
+__all__ = [
+    "paths_query",
+    "cycles_by_intersect_query",
+    "edge_uses_for_paths",
+    "edge_uses_for_cycles",
+    "star_degree_query",
+    "stars_from_degree_histogram",
+    "STAR_EDGE_USES",
+]
+
+
+def paths_query(edges: Queryable, length: int) -> Queryable:
+    """All directed paths with ``length`` edges and no immediate backtracking.
+
+    ``length == 1`` is the edge set itself; ``length == 2`` is
+    :func:`~repro.analyses.common.length_two_paths`.  Longer paths are built
+    by joining a ``(length−1)``-path with the edge set on its final vertex and
+    discarding paths that revisit the vertex two hops back (the paper's
+    "discard cycles" filter, generalised).  Note that vertices further back
+    may still repeat: wPINQ records are tuples, so callers can add stricter
+    ``where`` filters if they need fully simple paths.
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    if length == 1:
+        return edges
+    if length == 2:
+        return length_two_paths(edges)
+    shorter = paths_query(edges, length - 1)
+    extended = shorter.join(
+        edges,
+        left_key=lambda path: path[-1],
+        right_key=lambda edge: edge[0],
+        result_selector=lambda path, edge: tuple(path) + (edge[1],),
+    )
+    return extended.where(lambda path: path[-1] != path[-3])
+
+
+def cycles_by_intersect_query(edges: Queryable, cycle_length: int) -> Queryable:
+    """A single-record query whose weight reflects the number of ``k``-cycles.
+
+    Intersecting the length-``(k−1)`` paths with their own rotation keeps a
+    path ``(v_0, ..., v_{k-1})`` only if ``(v_1, ..., v_{k-1}, v_0)`` is also a
+    path, i.e. only if the edge closing the cycle exists.  ``cycle_length = 3``
+    recovers the TbI query of Section 5.3.
+    """
+    if cycle_length < 3:
+        raise ValueError("cycles need at least three vertices")
+    paths = paths_query(edges, cycle_length - 1)
+    closed = paths.select(rotate).intersect(paths)
+    # Funnel every surviving path onto one record so a single NoisyCount
+    # summarises the motif prevalence.
+    return closed.select(lambda path: f"cycle-{cycle_length}")
+
+
+def edge_uses_for_paths(length: int) -> int:
+    """How many times :func:`paths_query` references the edge dataset."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    return length
+
+
+def edge_uses_for_cycles(cycle_length: int) -> int:
+    """How many times :func:`cycles_by_intersect_query` references the edges.
+
+    The path query of length ``k−1`` is used twice (once rotated, once not).
+    """
+    if cycle_length < 3:
+        raise ValueError("cycles need at least three vertices")
+    return 2 * edge_uses_for_paths(cycle_length - 1)
+
+
+#: The star query below references the (symmetric) edge dataset once.
+STAR_EDGE_USES = 1
+
+
+def star_degree_query(edges: Queryable) -> Queryable:
+    """The per-vertex degree dataset that underlies ``k``-star counting.
+
+    A ``k``-star centred at a vertex of degree ``d`` exists in ``C(d, k)``
+    ways, so the number of ``k``-stars is a deterministic function of the
+    degree histogram — another example of a motif statistic that released
+    measurements constrain without being queried directly (Section 1.2,
+    benefit #3).  The query is simply ``GroupBy`` over the symmetric edge set:
+    one record ``(vertex, degree)`` per vertex, each of weight 0.5, projected
+    onto its degree so identical degrees accumulate.
+    """
+    return node_degrees(edges).select(lambda record: record[1])
+
+
+def stars_from_degree_histogram(
+    measurement: NoisyCountResult | Mapping[int, float],
+    k: int,
+) -> float:
+    """Estimate the number of ``k``-stars from a released degree histogram.
+
+    ``measurement`` maps each degree ``d`` to (half) the number of vertices of
+    that degree — the output of :func:`star_degree_query`, where every vertex
+    carries weight 0.5 — or to the vertex count itself when a plain mapping is
+    supplied with ``weight_per_vertex`` already undone.  Negative noisy cells
+    are clamped to zero.  Pure post-processing of released values.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if isinstance(measurement, NoisyCountResult):
+        items = list(measurement.items())
+        weight_per_vertex = 0.5
+    else:
+        items = list(measurement.items())
+        weight_per_vertex = 1.0
+    total = 0.0
+    for degree, value in items:
+        degree = int(degree)
+        count = max(0.0, float(value)) / weight_per_vertex
+        if degree >= k:
+            total += count * math.comb(degree, k)
+    return total

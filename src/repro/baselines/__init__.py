@@ -1,0 +1,43 @@
+"""Bespoke prior approaches the paper compares against."""
+
+from .hay import (
+    DEGREE_SEQUENCE_SENSITIVITY,
+    degree_sequence_error,
+    hay_degree_sequence,
+    noisy_degree_sequence,
+)
+from .naive import (
+    figure1_best_case_graph,
+    figure1_worst_case_graph,
+    weighted_triangle_count,
+    weighted_triangle_signal,
+    worst_case_triangle_count,
+)
+from .sala import jdd_error, sala_jdd_noise_scale, sala_joint_degree_distribution
+from .smooth import (
+    figure1_union_graph,
+    local_sensitivity_triangles,
+    max_common_neighbors,
+    smooth_sensitivity_triangle_count,
+    smooth_sensitivity_triangles,
+)
+
+__all__ = [
+    "DEGREE_SEQUENCE_SENSITIVITY",
+    "noisy_degree_sequence",
+    "hay_degree_sequence",
+    "degree_sequence_error",
+    "sala_jdd_noise_scale",
+    "sala_joint_degree_distribution",
+    "jdd_error",
+    "worst_case_triangle_count",
+    "weighted_triangle_count",
+    "weighted_triangle_signal",
+    "figure1_worst_case_graph",
+    "figure1_best_case_graph",
+    "figure1_union_graph",
+    "max_common_neighbors",
+    "local_sensitivity_triangles",
+    "smooth_sensitivity_triangles",
+    "smooth_sensitivity_triangle_count",
+]

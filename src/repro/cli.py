@@ -1,0 +1,252 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Every table and figure of the evaluation (plus the two ablations) can be
+produced from the shell without writing any Python::
+
+    python -m repro table1
+    python -m repro figure4 --scale 0.5 --steps 2.0
+    python -m repro list
+
+``--scale`` and ``--steps`` multiply the per-experiment default graph sizes
+and MCMC lengths exactly like the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_STEPS``
+environment variables used by the benchmark suite; ``--epsilon``, ``--pow``
+and ``--seed`` override the corresponding experiment parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .experiments import (
+    ExperimentConfig,
+    combined_measurements_ablation,
+    default_config,
+    degree_sequence_ablation,
+    figure1_comparison,
+    figure3_tbd_bucketing,
+    figure4_tbi_fitting,
+    figure5_epsilon_sensitivity,
+    figure6_scalability,
+    format_series,
+    format_table,
+    jdd_accuracy_ablation,
+    smooth_sensitivity_ablation,
+    table1_graph_statistics,
+    table2_tbi_triangles,
+    table3_barabasi,
+)
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _run_figure1(config: ExperimentConfig) -> str:
+    rows = figure1_comparison(epsilon=config.epsilon, seed=config.seed)
+    return format_table(
+        ["graph", "mechanism", "true triangles", "mean estimate", "mean |error|"],
+        rows,
+        title="Figure 1 — worst-case noise vs weighted records",
+    )
+
+
+def _run_table1(config: ExperimentConfig) -> str:
+    rows = table1_graph_statistics(config)
+    return format_table(
+        ["graph", "nodes", "edges", "dmax", "triangles", "assortativity r"],
+        rows,
+        title="Table 1 — stand-in graph statistics",
+    )
+
+
+def _run_figure3(config: ExperimentConfig) -> str:
+    results = figure3_tbd_bucketing(config)
+    blocks = [
+        format_table(
+            ["configuration", "true triangles", "seed", "final", "final r"],
+            [
+                (r.label, r.true_triangles, r.seed_triangles, r.final_triangles, r.final_assortativity)
+                for r in results
+            ],
+            title="Figure 3 — TbD-driven MCMC with/without bucketing",
+        )
+    ]
+    blocks.extend(
+        format_series(f"{r.label}: triangles", zip(r.steps, r.triangles)) for r in results
+    )
+    return "\n\n".join(blocks)
+
+
+def _run_table2(config: ExperimentConfig) -> str:
+    rows = table2_tbi_triangles(config)
+    return format_table(
+        ["graph", "seed triangles", "after TbI MCMC", "true triangles"],
+        rows,
+        title="Table 2 — TbI-driven synthesis",
+    )
+
+
+def _run_figure4(config: ExperimentConfig) -> str:
+    results = figure4_tbi_fitting(config)
+    blocks = [
+        format_table(
+            ["configuration", "true triangles", "seed", "final"],
+            [(r.label, r.true_triangles, r.seed_triangles, r.final_triangles) for r in results],
+            title="Figure 4 — TbI-driven MCMC, real vs random",
+        )
+    ]
+    blocks.extend(
+        format_series(f"{r.label}: triangles", zip(r.steps, r.triangles)) for r in results
+    )
+    return "\n\n".join(blocks)
+
+
+def _run_figure5(config: ExperimentConfig) -> str:
+    rows = figure5_epsilon_sensitivity(config)
+    return format_table(
+        ["epsilon", "mean final triangles", "std", "true triangles"],
+        rows,
+        title="Figure 5 — sensitivity to epsilon",
+    )
+
+
+def _run_table3(config: ExperimentConfig) -> str:
+    rows = table3_barabasi(config)
+    return format_table(
+        ["beta", "nodes", "edges", "dmax", "triangles", "sum d^2"],
+        rows,
+        title="Table 3 — Barabasi-Albert sweep",
+    )
+
+
+def _run_figure6(config: ExperimentConfig) -> str:
+    results = figure6_scalability(config)
+    return format_table(
+        ["workload", "sum d^2", "state entries", "peak MB", "MCMC steps/s"],
+        [
+            (
+                r["label"],
+                int(r["degree_sum_of_squares"]),
+                int(r["state_entries"]),
+                r["peak_memory_mb"],
+                r["steps_per_second"],
+            )
+            for r in results
+        ],
+        title="Figure 6 — scalability of the incremental engine",
+    )
+
+
+def _run_jdd_ablation(config: ExperimentConfig) -> str:
+    rows = jdd_accuracy_ablation(config)
+    return format_table(
+        ["approach", "mean |error| per occupied pair"],
+        rows,
+        title="Section 3.2 ablation — JDD accuracy",
+    )
+
+
+def _run_degree_ablation(config: ExperimentConfig) -> str:
+    rows = degree_sequence_ablation(config)
+    return format_table(
+        ["approach", "mean |error| per rank"],
+        rows,
+        title="Section 3.1 ablation — degree sequence accuracy",
+    )
+
+
+def _run_smooth_ablation(config: ExperimentConfig) -> str:
+    rows = smooth_sensitivity_ablation(
+        nodes=max(200, int(400 * config.graph_scale)), seed=config.seed
+    )
+    return format_table(
+        ["graph", "mechanism", "target value", "noise scale", "mean relative error"],
+        rows,
+        title="Section 1.1 ablation — smooth sensitivity vs weighted records",
+    )
+
+
+def _run_combined_ablation(config: ExperimentConfig) -> str:
+    rows = combined_measurements_ablation(config)
+    return format_table(
+        ["configuration", "seed triangles", "final triangles", "true triangles"],
+        rows,
+        title="Section 1.2 ablation — combining TbI with the JDD",
+    )
+
+
+#: Experiment name -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
+    "figure1": ("worst-case vs weighted triangle counting", _run_figure1),
+    "table1": ("evaluation graph statistics", _run_table1),
+    "figure3": ("TbD-driven MCMC with/without bucketing", _run_figure3),
+    "table2": ("triangles: seed / after TbI MCMC / truth", _run_table2),
+    "figure4": ("TbI-driven MCMC trajectories, real vs random", _run_figure4),
+    "figure5": ("sensitivity of TbI synthesis to epsilon", _run_figure5),
+    "table3": ("Barabasi-Albert graphs for the scaling study", _run_table3),
+    "figure6": ("memory and throughput vs sum of squared degrees", _run_figure6),
+    "jdd-ablation": ("wPINQ JDD query vs Sala et al.", _run_jdd_ablation),
+    "degree-ablation": ("degree-sequence post-processing comparison", _run_degree_ablation),
+    "smooth-ablation": ("smooth sensitivity vs weighted records (Section 1.1)", _run_smooth_ablation),
+    "combined-ablation": ("fitting TbI together with the JDD (Section 1.2)", _run_combined_ablation),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the wPINQ paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="which experiment to run ('list' to enumerate, 'all' for everything)",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="graph-size multiplier")
+    parser.add_argument("--steps", type=float, default=None, help="MCMC step multiplier")
+    parser.add_argument("--epsilon", type=float, default=None, help="privacy parameter")
+    parser.add_argument("--pow", dest="pow_", type=float, default=None, help="MCMC score sharpening")
+    parser.add_argument("--seed", type=int, default=None, help="base random seed")
+    return parser
+
+
+def _configure(args: argparse.Namespace) -> ExperimentConfig:
+    config = default_config()
+    overrides = {}
+    if args.scale is not None:
+        overrides["graph_scale"] = args.scale
+    if args.steps is not None:
+        overrides["step_scale"] = args.steps
+    if args.epsilon is not None:
+        overrides["epsilon"] = args.epsilon
+    if args.pow_ is not None:
+        overrides["pow_"] = args.pow_
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            description, _ = EXPERIMENTS[name]
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    config = _configure(args)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _, runner = EXPERIMENTS[name]
+        print(runner(config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

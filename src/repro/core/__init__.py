@@ -1,0 +1,72 @@
+"""Core wPINQ machinery: weighted datasets, stable transformations, privacy.
+
+The public surface is re-exported here so that typical analyst code only needs
+
+    from repro.core import PrivacySession, WeightedDataset
+"""
+
+from .aggregation import (
+    NoisyCountResult,
+    exponential_mechanism,
+    noisy_average,
+    noisy_median,
+    noisy_sum,
+)
+from .budget import BudgetLedger, PrivacyBudget
+from .dataset import WeightedDataset
+from .laplace import LaplaceNoise, laplace_density, laplace_log_density, validate_epsilon
+from .plan import (
+    ConcatPlan,
+    DistinctPlan,
+    DownScalePlan,
+    ExceptPlan,
+    GroupByPlan,
+    IntersectPlan,
+    JoinPlan,
+    Plan,
+    SelectManyPlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+    UnionPlan,
+    WherePlan,
+)
+from .queryable import PrivacySession, Queryable
+from .partition import Partition, PartitionGroup, PartitionPlan, PartQueryable
+from . import transformations
+
+__all__ = [
+    "WeightedDataset",
+    "PrivacySession",
+    "Queryable",
+    "NoisyCountResult",
+    "PrivacyBudget",
+    "BudgetLedger",
+    "LaplaceNoise",
+    "laplace_density",
+    "laplace_log_density",
+    "validate_epsilon",
+    "noisy_sum",
+    "noisy_average",
+    "noisy_median",
+    "exponential_mechanism",
+    "transformations",
+    "Plan",
+    "SourcePlan",
+    "SelectPlan",
+    "WherePlan",
+    "SelectManyPlan",
+    "GroupByPlan",
+    "ShavePlan",
+    "JoinPlan",
+    "UnionPlan",
+    "IntersectPlan",
+    "ConcatPlan",
+    "ExceptPlan",
+    "DistinctPlan",
+    "DownScalePlan",
+    "Partition",
+    "PartitionGroup",
+    "PartitionPlan",
+    "PartQueryable",
+]

@@ -1,0 +1,271 @@
+"""Differentially private aggregations.
+
+The workhorse is :class:`NoisyCountResult`, the object returned by
+``Queryable.noisy_count(ε)``.  It realises the "noisy histogram" of
+Section 2.2: every record of the (transformed) dataset is released with
+independent ``Laplace(1/ε)`` noise added to its weight.  Two details matter:
+
+* the noise scale is *not* a function of query sensitivity — the stable
+  transformations already re-scaled record weights so unit-scale noise
+  suffices;
+* to remain private, a value must be available for *every* record in the
+  (unbounded) domain, including records with zero weight.  The result object
+  therefore materialises noisy values for the records that actually carry
+  weight, and lazily draws — then memoises — fresh noise for any other record
+  the analyst (or the MCMC scorer) asks about.
+
+Noisy sums/averages and the exponential mechanism, which the paper notes
+generalise directly to weighted datasets, are also provided.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from .dataset import WeightedDataset
+from .laplace import LaplaceNoise, validate_epsilon
+
+__all__ = [
+    "NoisyCountResult",
+    "noisy_sum",
+    "noisy_average",
+    "noisy_median",
+    "exponential_mechanism",
+]
+
+
+class NoisyCountResult:
+    """Released noisy weights for a wPINQ query.
+
+    The protected data is consulted exactly once, at construction time, to
+    read the true weights of records with non-zero weight.  After that the
+    object is safe to share: values for unseen records are pure noise
+    (true weight zero) drawn on demand and memoised so repeated queries for
+    the same record are answered consistently.
+
+    Parameters
+    ----------
+    exact:
+        The exact transformed dataset ``Q(A)`` (only consulted at
+        construction).
+    epsilon:
+        Noise parameter; each value receives ``Laplace(1/ε)`` noise.
+    noise:
+        The noise source to draw from.
+    plan, query_name:
+        Optional metadata recorded so that downstream probabilistic inference
+        can re-evaluate the same query on synthetic data.
+    """
+
+    def __init__(
+        self,
+        exact: WeightedDataset,
+        epsilon: float,
+        noise: LaplaceNoise | None = None,
+        plan=None,
+        query_name: str = "",
+    ) -> None:
+        self._epsilon = validate_epsilon(epsilon)
+        self._noise = noise if noise is not None else LaplaceNoise()
+        self._plan = plan
+        self.query_name = query_name
+        self._values: dict[Any, float] = {}
+        for record, weight in exact.items():
+            self._values[record] = weight + self._noise.sample(self._epsilon)
+        self._observed = set(self._values)
+
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """The ε used for this measurement."""
+        return self._epsilon
+
+    @property
+    def plan(self):
+        """The logical plan this measurement was taken over (may be None)."""
+        return self._plan
+
+    def value(self, record: Any) -> float:
+        """Noisy weight of ``record`` (drawing fresh noise if never seen)."""
+        if record not in self._values:
+            self._values[record] = self._noise.sample(self._epsilon)
+        return self._values[record]
+
+    def __getitem__(self, record: Any) -> float:
+        return self.value(record)
+
+    def __contains__(self, record: Any) -> bool:
+        return record in self._values
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def observed_records(self) -> set[Any]:
+        """Records whose value has been released so far.
+
+        Contains the support of the measured dataset plus any additional
+        records the analyst explicitly asked about.
+        """
+        return set(self._values)
+
+    def items(self) -> Iterator[tuple[Any, float]]:
+        """Iterate over ``(record, noisy weight)`` pairs released so far."""
+        return iter(self._values.items())
+
+    def to_dict(self) -> dict[Any, float]:
+        """Copy of the released values."""
+        return dict(self._values)
+
+    def total(self) -> float:
+        """Sum of all released noisy weights (a common post-processing step)."""
+        return sum(self._values.values())
+
+    def as_weighted_dataset(self) -> WeightedDataset:
+        """The released values viewed as a (noisy, possibly negative) dataset."""
+        return WeightedDataset(self._values)
+
+    def l1_distance_to(self, candidate: WeightedDataset) -> float:
+        """``‖Q(synthetic) − m‖₁`` over the union of supports.
+
+        Used by probabilistic inference (Section 4.1): records present in the
+        candidate output but never measured are compared against a freshly
+        drawn (then memoised) noisy zero, exactly as the platform would have
+        answered had the analyst asked for them.
+        """
+        total = 0.0
+        for record, weight in candidate.items():
+            total += abs(weight - self.value(record))
+        for record, value in self._values.items():
+            if record not in candidate:
+                total += abs(value)
+        return total
+
+    def __repr__(self) -> str:
+        name = f" {self.query_name!r}" if self.query_name else ""
+        return (
+            f"<NoisyCountResult{name} epsilon={self._epsilon:g} "
+            f"records={len(self._values)}>"
+        )
+
+
+def noisy_sum(
+    dataset: WeightedDataset,
+    epsilon: float,
+    value_selector: Callable[[Any], float] = lambda record: 1.0,
+    clamp: float = 1.0,
+    noise: LaplaceNoise | None = None,
+) -> float:
+    """ε-DP weighted sum ``Σ_x A(x) · clip(f(x), ±clamp)`` + ``Laplace(clamp/ε)``.
+
+    A unit change in the weight of any record changes the true sum by at most
+    ``clamp``, so Laplace noise of scale ``clamp/ε`` provides ε-differential
+    privacy with respect to ``‖A − A'‖``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    clamp = float(clamp)
+    if clamp <= 0:
+        raise ValueError("clamp must be positive")
+    noise = noise if noise is not None else LaplaceNoise()
+    total = 0.0
+    for record, weight in dataset.items():
+        value = float(value_selector(record))
+        value = max(-clamp, min(clamp, value))
+        total += weight * value
+    return total + noise.sample(epsilon / clamp)
+
+
+def noisy_average(
+    dataset: WeightedDataset,
+    epsilon: float,
+    value_selector: Callable[[Any], float],
+    clamp: float = 1.0,
+    noise: LaplaceNoise | None = None,
+) -> float:
+    """ε-DP average of clamped record values.
+
+    The budget is split evenly between a noisy numerator (clamped weighted
+    sum) and a noisy denominator (total weight); the denominator is floored at
+    a small positive constant so the ratio is always defined.
+    """
+    epsilon = validate_epsilon(epsilon)
+    noise = noise if noise is not None else LaplaceNoise()
+    numerator = noisy_sum(dataset, epsilon / 2.0, value_selector, clamp=clamp, noise=noise)
+    denominator = noisy_sum(dataset, epsilon / 2.0, lambda record: 1.0, clamp=1.0, noise=noise)
+    return numerator / max(denominator, 1e-6)
+
+
+def noisy_median(
+    dataset: WeightedDataset,
+    epsilon: float,
+    value_selector: Callable[[Any], float] = lambda record: float(record),
+    candidates: Sequence[float] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """ε-DP weighted median via the exponential mechanism.
+
+    The utility of a candidate value ``c`` is the negated absolute difference
+    between the total weight of records whose value falls below ``c`` and the
+    total weight of those above it.  A unit change in any record's weight
+    moves either side of that difference by at most one, so the utility is
+    1-Lipschitz in ``‖·‖`` and the exponential mechanism applies directly —
+    this is one of the aggregations the paper notes "generalize easily to
+    weighted datasets" (Section 2.2).
+
+    ``candidates`` defaults to the distinct values observed in the dataset;
+    supplying an explicit, data-independent grid gives a cleaner privacy story
+    when the value domain is known a priori.
+    """
+    values = {record: float(value_selector(record)) for record in dataset.records()}
+    if candidates is None:
+        candidate_values = sorted(set(values.values()))
+    else:
+        candidate_values = sorted(float(candidate) for candidate in candidates)
+    if not candidate_values:
+        raise ValueError("noisy_median requires at least one candidate value")
+
+    def utility(candidate: float, data: WeightedDataset) -> float:
+        below = sum(
+            weight for record, weight in data.items() if values.get(record, float(value_selector(record))) < candidate
+        )
+        above = sum(
+            weight for record, weight in data.items() if values.get(record, float(value_selector(record))) > candidate
+        )
+        return -abs(below - above)
+
+    return float(
+        exponential_mechanism(dataset, candidate_values, utility, epsilon, rng=rng)
+    )
+
+
+def exponential_mechanism(
+    dataset: WeightedDataset,
+    candidates: Sequence[Any],
+    score: Callable[[Any, WeightedDataset], float],
+    epsilon: float,
+    rng: np.random.Generator | int | None = None,
+) -> Any:
+    """Select a candidate with probability ``∝ exp(ε · score / 2)``.
+
+    ``score(candidate, dataset)`` must be 1-Lipschitz in the dataset with
+    respect to ``‖·‖`` (the paper's generalisation of the McSherry–Talwar
+    mechanism to weighted data).  Scores are shifted by their maximum before
+    exponentiation for numerical stability.
+    """
+    epsilon = validate_epsilon(epsilon)
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("exponential_mechanism requires at least one candidate")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    scores = np.array([float(score(candidate, dataset)) for candidate in candidates])
+    logits = (epsilon / 2.0) * scores
+    logits -= logits.max()
+    probabilities = np.exp(logits)
+    probabilities /= probabilities.sum()
+    index = int(rng.choice(len(candidates), p=probabilities))
+    return candidates[index]

@@ -1,0 +1,135 @@
+"""Privacy budget accounting.
+
+Differential privacy for weighted datasets composes sequentially: a sequence
+of computations, each ``ε_i``-DP, is ``Σ_i ε_i``-DP (Section 2.1).  wPINQ uses
+this to track the cumulative privacy cost of an analysis session and refuses
+any measurement that would push a protected dataset past its budget.
+
+A subtlety from Section 2.3: when a protected dataset appears ``k`` times in a
+query plan (e.g. both sides of a self-join), an ``ε``-DP aggregation of the
+plan's output is ``k·ε``-DP *for that dataset*.  The plan machinery counts
+source multiplicities statically and the ledger here charges the multiple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import BudgetExceededError, InvalidEpsilonError
+from .laplace import validate_epsilon
+
+__all__ = ["BudgetLedger", "PrivacyBudget"]
+
+
+@dataclass
+class _Charge:
+    """One recorded budget expenditure (kept for auditing/reporting)."""
+
+    epsilon: float
+    description: str
+
+
+@dataclass
+class PrivacyBudget:
+    """Tracks the privacy budget of a single protected dataset.
+
+    Parameters
+    ----------
+    total:
+        The total ``ε`` the data owner is willing to spend on this dataset.
+        ``float('inf')`` disables enforcement (useful for unit tests and for
+        the *synthetic* datasets MCMC manipulates, which are public).
+    """
+
+    total: float
+    _spent: float = field(default=0.0, init=False)
+    _charges: list[_Charge] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.total != float("inf"):
+            self.total = validate_epsilon(self.total)
+
+    @property
+    def spent(self) -> float:
+        """Total ε consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """ε still available for future measurements."""
+        return self.total - self._spent
+
+    def can_afford(self, epsilon: float) -> bool:
+        """True if a charge of ``epsilon`` would stay within budget."""
+        epsilon = validate_epsilon(epsilon)
+        # A tiny slack absorbs floating-point accumulation across many charges.
+        return epsilon <= self.remaining + 1e-12
+
+    def charge(self, epsilon: float, description: str = "") -> None:
+        """Consume ``epsilon`` of budget, or raise without consuming anything."""
+        epsilon = validate_epsilon(epsilon)
+        if not self.can_afford(epsilon):
+            raise BudgetExceededError(epsilon, self.remaining)
+        self._spent += epsilon
+        self._charges.append(_Charge(epsilon, description))
+
+    def history(self) -> list[tuple[float, str]]:
+        """Return the list of ``(epsilon, description)`` charges so far."""
+        return [(charge.epsilon, charge.description) for charge in self._charges]
+
+
+class BudgetLedger:
+    """Budget bookkeeping for several protected datasets at once.
+
+    A single wPINQ query may reference multiple protected sources (e.g. a join
+    of two private tables); a measurement must be affordable for *all* of them
+    simultaneously, and is charged atomically — either every source is charged
+    or none is.
+    """
+
+    def __init__(self) -> None:
+        self._budgets: dict[str, PrivacyBudget] = {}
+
+    def register(self, name: str, total_epsilon: float) -> PrivacyBudget:
+        """Create (or fetch) the budget for a protected source."""
+        if name in self._budgets:
+            return self._budgets[name]
+        budget = PrivacyBudget(total_epsilon)
+        self._budgets[name] = budget
+        return budget
+
+    def budget_for(self, name: str) -> PrivacyBudget:
+        """Return the budget registered under ``name``."""
+        try:
+            return self._budgets[name]
+        except KeyError as exc:
+            raise InvalidEpsilonError(f"no budget registered for source {name!r}") from exc
+
+    def charge(self, costs: dict[str, float], description: str = "") -> None:
+        """Atomically charge each source its cost, or raise and charge nothing."""
+        validated = {name: validate_epsilon(cost) for name, cost in costs.items()}
+        for name, cost in validated.items():
+            budget = self.budget_for(name)
+            if not budget.can_afford(cost):
+                raise BudgetExceededError(cost, budget.remaining, source=name)
+        for name, cost in validated.items():
+            self._budgets[name].charge(cost, description)
+
+    def spent(self, name: str) -> float:
+        """ε consumed so far by the named source."""
+        return self.budget_for(name).spent
+
+    def remaining(self, name: str) -> float:
+        """ε still available for the named source."""
+        return self.budget_for(name).remaining
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Summary of every registered source (total / spent / remaining)."""
+        return {
+            name: {
+                "total": budget.total,
+                "spent": budget.spent,
+                "remaining": budget.remaining,
+            }
+            for name, budget in self._budgets.items()
+        }

@@ -1,0 +1,337 @@
+"""Partitioning a query into disjoint parts with parallel composition.
+
+PINQ's ``Partition`` operator is the standard way to ask many questions about
+disjoint slices of a protected dataset at the price of one: because the parts
+are disjoint restrictions of the same (transformed) dataset, the L1 distance
+between neighbouring datasets decomposes additively across parts,
+
+    Σ_k ‖Q_k(A) − Q_k(A')‖  ≤  ‖Q(A) − Q(A')‖  ≤  k · ‖A − A'‖ ,
+
+so measuring *every* part with parameter ``ε`` costs the protected sources the
+same ``k·ε`` a single measurement of the whole query would (``k`` being the
+source multiplicity of Section 2.3).  wPINQ generalises PINQ, and the argument
+above only uses stability and the decomposition of ``‖·‖`` over disjoint
+supports, so the operator carries over to weighted datasets unchanged.
+
+The accounting rule implemented here is the PINQ one: for each protected
+source, a partition group charges the running **maximum** over its parts of
+the ε accumulated on that part (times the parent query's source multiplicity),
+rather than the sum.  Parts may be transformed further and measured repeatedly
+and at different ε; every measurement only pays for the amount by which it
+raises the group's maximum.
+
+Two conservative simplifications keep the accounting simple and sound:
+
+* parts of *other* partition groups appearing inside a part's plan are treated
+  as ordinary transformations (they are charged at their full multiplicity
+  rather than enjoying their own max-accounting), and
+* the group's parent multiplicities are taken from the parent plan as built;
+  re-joining a part with the raw protected source is charged separately, as a
+  direct use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator
+
+from ..exceptions import PlanError
+from .laplace import validate_epsilon
+from .plan import Plan, SourcePlan
+
+__all__ = ["Partition", "PartitionPlan", "PartitionGroup"]
+
+
+class PartitionPlan(Plan):
+    """Restriction of a parent plan to the records of one partition key.
+
+    Semantically identical to ``Where(parent, key(x) == part_key)``; the
+    dedicated node type exists so measurement-time accounting can recognise
+    which partition group (and which part) a use of the parent flows through.
+    """
+
+    def __init__(
+        self,
+        child: Plan,
+        key: Callable[[Any], Any],
+        part_key: Any,
+        group: "PartitionGroup",
+    ) -> None:
+        if not isinstance(child, Plan):
+            raise PlanError(f"expected a Plan child, got {type(child).__name__}")
+        self.child = child
+        self.children = (child,)
+        self.key = key
+        self.part_key = part_key
+        self.group = group
+
+    @property
+    def part_predicate(self) -> Callable[[Any], bool]:
+        """Predicate selecting exactly this part's records."""
+        key = self.key
+        part_key = self.part_key
+        return lambda record: key(record) == part_key
+
+    def _evaluate(self, environment, memo):
+        from . import transformations as xf
+
+        return xf.where(self.child.evaluate(environment, memo), self.part_predicate)
+
+    def _label(self) -> str:
+        return f"Partition(part={self.part_key!r})"
+
+
+class PartitionGroup:
+    """Budget bookkeeping shared by all parts of one ``partition`` call.
+
+    For every part the group tracks the cumulative ``ε × (paths through this
+    part's partition node)`` spent by measurements.  The amount owed to each
+    protected source is ``max over parts × parent multiplicity``; each new
+    measurement is charged only the increase of that bound.
+    """
+
+    def __init__(self, session, parent_plan: Plan) -> None:
+        self._session = session
+        self._parent_plan = parent_plan
+        self._parent_multiplicities = Counter(parent_plan.source_multiplicities())
+        self._part_epsilon: dict[Any, float] = {}
+        self._charged: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def parent_multiplicities(self) -> Counter:
+        """Source multiplicities of the partitioned parent query."""
+        return Counter(self._parent_multiplicities)
+
+    def part_epsilon(self, part_key: Any) -> float:
+        """Cumulative ε accumulated on one part so far."""
+        return self._part_epsilon.get(part_key, 0.0)
+
+    def max_epsilon(self) -> float:
+        """The current maximum cumulative ε over all parts."""
+        return max(self._part_epsilon.values(), default=0.0)
+
+    def charged(self) -> dict[str, float]:
+        """ε charged to each protected source by this group so far."""
+        return dict(self._charged)
+
+    # ------------------------------------------------------------------
+    def charge_measurement(
+        self,
+        plan: Plan,
+        epsilon: float,
+        description: str = "",
+    ) -> dict[str, float]:
+        """Charge the ledger for a measurement of ``plan`` at ``epsilon``.
+
+        Splits the plan's source uses into *direct* uses (paths from the
+        measurement root to a source that do not pass through this group's
+        partition nodes) and uses routed *through* the group's parts.  Direct
+        uses are charged at full ``ε × multiplicity``; routed uses only pay
+        for the increase in ``max over parts × parent multiplicity``.
+
+        The combined charge is applied atomically: if any source's budget is
+        insufficient, nothing is charged and nothing is recorded.  Returns the
+        per-source amounts actually charged.
+        """
+        epsilon = validate_epsilon(epsilon)
+        direct, arrivals = self._attribute(plan)
+
+        costs: dict[str, float] = {
+            name: count * epsilon for name, count in direct.items()
+        }
+
+        # Work out how much this measurement raises the group's max.
+        pending = dict(self._part_epsilon)
+        for part_key, paths in arrivals.items():
+            pending[part_key] = pending.get(part_key, 0.0) + paths * epsilon
+        old_max = max(self._part_epsilon.values(), default=0.0)
+        new_max = max(pending.values(), default=0.0)
+        increase = max(0.0, new_max - old_max)
+        if increase > 0.0:
+            for name, multiplicity in self._parent_multiplicities.items():
+                extra = increase * multiplicity
+                costs[name] = costs.get(name, 0.0) + extra
+
+        costs = {name: cost for name, cost in costs.items() if cost > 0.0}
+        if costs:
+            self._session.ledger.charge(costs, description=description)
+        # Only commit part totals once the ledger accepted the charge.
+        self._part_epsilon = pending
+        for name, cost in costs.items():
+            self._charged[name] = self._charged.get(name, 0.0) + cost
+        return costs
+
+    def preview_cost(self, plan: Plan, epsilon: float) -> dict[str, float]:
+        """The per-source charge a measurement *would* incur, without charging."""
+        epsilon = validate_epsilon(epsilon)
+        direct, arrivals = self._attribute(plan)
+        costs: dict[str, float] = {
+            name: count * epsilon for name, count in direct.items()
+        }
+        pending = dict(self._part_epsilon)
+        for part_key, paths in arrivals.items():
+            pending[part_key] = pending.get(part_key, 0.0) + paths * epsilon
+        increase = max(0.0, max(pending.values(), default=0.0) - self.max_epsilon())
+        if increase > 0.0:
+            for name, multiplicity in self._parent_multiplicities.items():
+                costs[name] = costs.get(name, 0.0) + increase * multiplicity
+        return {name: cost for name, cost in costs.items() if cost > 0.0}
+
+    # ------------------------------------------------------------------
+    def _attribute(self, plan: Plan) -> tuple[Counter, Counter]:
+        """Split root-to-source paths into direct uses and per-part arrivals.
+
+        Traversal stops at this group's partition nodes (each arrival is
+        recorded against the node's part); partition nodes of other groups are
+        descended through like any other transformation, so their sources end
+        up in the direct (fully charged) bucket.
+        """
+        direct: Counter = Counter()
+        arrivals: Counter = Counter()
+
+        def visit(node: Plan) -> None:
+            if isinstance(node, PartitionPlan) and node.group is self:
+                arrivals[node.part_key] += 1
+                return
+            if isinstance(node, SourcePlan):
+                direct[node.name] += 1
+                return
+            for child in node.children:
+                visit(child)
+
+        visit(plan)
+        return direct, arrivals
+
+
+class Partition:
+    """The mapping of part keys to queryables returned by ``Queryable.partition``.
+
+    Iterating yields ``(part_key, queryable)`` pairs; indexing by a part key
+    returns the corresponding queryable.  All parts share one
+    :class:`PartitionGroup`, so their measurements compose in parallel.
+    """
+
+    def __init__(self, parent, key: Callable[[Any], Any], keys: Iterable[Any]) -> None:
+        # Imported here to avoid a circular import at module load time.
+        from .queryable import Queryable
+
+        if not isinstance(parent, Queryable):
+            raise PlanError("partition() requires a Queryable parent")
+        part_keys = list(keys)
+        if not part_keys:
+            raise PlanError("partition() requires at least one part key")
+        if len(set(part_keys)) != len(part_keys):
+            raise PlanError("partition() part keys must be distinct")
+        self._session = parent.session
+        self._group = PartitionGroup(parent.session, parent.plan)
+        self._parts: dict[Any, PartQueryable] = {}
+        for part_key in part_keys:
+            plan = PartitionPlan(parent.plan, key, part_key, self._group)
+            self._parts[part_key] = PartQueryable(parent.session, plan, self._group)
+
+    # ------------------------------------------------------------------
+    @property
+    def group(self) -> PartitionGroup:
+        """The budget-accounting group shared by every part."""
+        return self._group
+
+    def keys(self) -> list[Any]:
+        """The part keys, in the order supplied."""
+        return list(self._parts)
+
+    def __getitem__(self, part_key: Any) -> "PartQueryable":
+        try:
+            return self._parts[part_key]
+        except KeyError as exc:
+            raise PlanError(f"no partition part with key {part_key!r}") from exc
+
+    def __iter__(self) -> Iterator[tuple[Any, "PartQueryable"]]:
+        return iter(self._parts.items())
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def items(self) -> Iterator[tuple[Any, "PartQueryable"]]:
+        """Iterate over ``(part_key, queryable)`` pairs."""
+        return iter(self._parts.items())
+
+    def noisy_counts(self, epsilon: float, query_name: str = ""):
+        """Measure every part at ``epsilon`` and return ``{part_key: result}``.
+
+        Thanks to parallel composition the whole sweep costs each protected
+        source the same as a single measurement of the un-partitioned query.
+        """
+        results = {}
+        for part_key, part in self._parts.items():
+            label = f"{query_name or 'partition'}[{part_key!r}]"
+            results[part_key] = part.noisy_count(epsilon, query_name=label)
+        return results
+
+
+# Imported late so that PartQueryable can subclass Queryable without creating
+# an import cycle at module load time.
+from .aggregation import NoisyCountResult, noisy_sum as _noisy_sum  # noqa: E402
+from .queryable import Queryable  # noqa: E402
+
+
+class PartQueryable(Queryable):
+    """A queryable over one partition part.
+
+    Behaves exactly like a :class:`Queryable` — every stable transformation is
+    available and further derived queryables stay attached to the same
+    partition group — except that measurements are charged through the group's
+    parallel-composition accounting instead of plain sequential composition.
+    """
+
+    def __init__(self, session, plan: Plan, group: PartitionGroup) -> None:
+        super().__init__(session, plan)
+        self._group = group
+
+    @property
+    def partition_group(self) -> PartitionGroup:
+        """The accounting group this part belongs to."""
+        return self._group
+
+    def _wrap(self, plan: Plan) -> "PartQueryable":
+        return PartQueryable(self._session, plan, self._group)
+
+    # ------------------------------------------------------------------
+    def privacy_cost(self, epsilon: float) -> dict[str, float]:
+        """The charge the *next* measurement at ``epsilon`` would incur.
+
+        Unlike the base class this is stateful: once the group's maximum has
+        been raised by one part, sibling parts can often measure for free.
+        """
+        return self._group.preview_cost(self._plan, epsilon)
+
+    def noisy_count(self, epsilon: float, query_name: str = "") -> NoisyCountResult:
+        """Release every record's weight with ``Laplace(1/ε)`` noise.
+
+        Charged through the partition group's max-accounting.
+        """
+        label = query_name or f"partition noisy_count(eps={epsilon:g})"
+        self._group.charge_measurement(self._plan, epsilon, description=label)
+        exact = self._plan.evaluate(self._session.environment())
+        return NoisyCountResult(
+            exact,
+            epsilon,
+            noise=self._session.noise,
+            plan=self._plan,
+            query_name=query_name,
+        )
+
+    def noisy_sum(
+        self,
+        epsilon: float,
+        value_selector: Callable[[Any], float] = lambda record: 1.0,
+        clamp: float = 1.0,
+        query_name: str = "",
+    ) -> float:
+        """Release a single clamped, weighted sum with Laplace noise."""
+        label = query_name or f"partition noisy_sum(eps={epsilon:g})"
+        self._group.charge_measurement(self._plan, epsilon, description=label)
+        exact = self._plan.evaluate(self._session.environment())
+        return _noisy_sum(
+            exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
+        )

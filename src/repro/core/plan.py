@@ -1,0 +1,322 @@
+"""Logical query plans.
+
+A wPINQ query is a DAG of stable transformations rooted at one or more
+protected sources.  :class:`Plan` nodes capture that DAG so the platform can
+
+* evaluate the query eagerly against the protected data when a measurement is
+  taken (:meth:`Plan.evaluate`),
+* count how many times each protected source appears in the query
+  (:meth:`Plan.source_multiplicities`) — the static analysis from Section 2.3
+  that turns an ``ε``-DP aggregation into a ``k·ε`` charge for a source used
+  ``k`` times, and
+* be compiled into the incremental dataflow graph used by the MCMC engine
+  (:mod:`repro.dataflow.engine`).
+
+Plans are shared, immutable, and compared by identity: the expression
+``temp.join(temp, ...)`` reuses a single plan object on both sides, which both
+the eager evaluator (via memoisation) and the dataflow compiler (via node
+reuse) exploit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Sequence
+
+from ..exceptions import PlanError
+from .dataset import WeightedDataset
+from . import transformations as xf
+
+__all__ = [
+    "Plan",
+    "SourcePlan",
+    "SelectPlan",
+    "WherePlan",
+    "SelectManyPlan",
+    "GroupByPlan",
+    "ShavePlan",
+    "JoinPlan",
+    "UnionPlan",
+    "IntersectPlan",
+    "ConcatPlan",
+    "ExceptPlan",
+    "DistinctPlan",
+    "DownScalePlan",
+]
+
+
+class Plan:
+    """Base class for logical plan nodes."""
+
+    #: Child plans, in evaluation order.  Binary operators have two entries
+    #: (which may be the same object for self-joins).
+    children: tuple["Plan", ...] = ()
+
+    def evaluate(
+        self,
+        environment: dict[str, WeightedDataset],
+        memo: dict[int, WeightedDataset] | None = None,
+    ) -> WeightedDataset:
+        """Evaluate the plan against concrete datasets for every source.
+
+        ``environment`` maps source names to :class:`WeightedDataset` values.
+        Shared sub-plans are evaluated once thanks to the ``memo`` cache keyed
+        by plan identity.
+        """
+        if memo is None:
+            memo = {}
+        key = id(self)
+        if key not in memo:
+            memo[key] = self._evaluate(environment, memo)
+        return memo[key]
+
+    def _evaluate(
+        self,
+        environment: dict[str, WeightedDataset],
+        memo: dict[int, WeightedDataset],
+    ) -> WeightedDataset:
+        raise NotImplementedError
+
+    def source_multiplicities(self) -> Counter:
+        """Count how many times each protected source appears in the plan.
+
+        This is the quantity ``k`` of Section 2.3: a measurement with
+        parameter ``ε`` over this plan is ``k·ε``-differentially private for a
+        source appearing ``k`` times.  Note that this intentionally counts
+        *paths* from the root to each source leaf, not distinct leaf objects:
+        reusing the same intermediate queryable twice reveals its source
+        twice.
+        """
+        counts: Counter = Counter()
+        self._accumulate_sources(counts)
+        return counts
+
+    def _accumulate_sources(self, counts: Counter) -> None:
+        for child in self.children:
+            child._accumulate_sources(counts)
+
+    def source_names(self) -> set[str]:
+        """The set of protected source names referenced by the plan."""
+        return set(self.source_multiplicities())
+
+    # Human-readable plan rendering (handy in error messages and docs).
+    def describe(self, indent: int = 0) -> str:
+        """Return an indented, human-readable rendering of the plan tree."""
+        pad = "  " * indent
+        lines = [f"{pad}{self._label()}"]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self.source_names()))
+        return f"<{type(self).__name__} sources=[{names}]>"
+
+
+class SourcePlan(Plan):
+    """A leaf referring to a named protected dataset."""
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise PlanError("source name must be a non-empty string")
+        self.name = name
+
+    def _evaluate(self, environment, memo):
+        try:
+            dataset = environment[self.name]
+        except KeyError as exc:
+            raise PlanError(f"no dataset bound for source {self.name!r}") from exc
+        if not isinstance(dataset, WeightedDataset):
+            raise PlanError(
+                f"source {self.name!r} must be bound to a WeightedDataset, "
+                f"got {type(dataset).__name__}"
+            )
+        return dataset
+
+    def _accumulate_sources(self, counts: Counter) -> None:
+        counts[self.name] += 1
+
+    def _label(self) -> str:
+        return f"Source({self.name})"
+
+
+class _UnaryPlan(Plan):
+    """Common machinery for single-input transformations."""
+
+    def __init__(self, child: Plan) -> None:
+        if not isinstance(child, Plan):
+            raise PlanError(f"expected a Plan child, got {type(child).__name__}")
+        self.child = child
+        self.children = (child,)
+
+
+class SelectPlan(_UnaryPlan):
+    """Per-record mapping with weight accumulation (Section 2.4)."""
+
+    def __init__(self, child: Plan, mapper: Callable[[Any], Any]) -> None:
+        super().__init__(child)
+        self.mapper = mapper
+
+    def _evaluate(self, environment, memo):
+        return xf.select(self.child.evaluate(environment, memo), self.mapper)
+
+
+class WherePlan(_UnaryPlan):
+    """Per-record filtering (Section 2.4)."""
+
+    def __init__(self, child: Plan, predicate: Callable[[Any], bool]) -> None:
+        super().__init__(child)
+        self.predicate = predicate
+
+    def _evaluate(self, environment, memo):
+        return xf.where(self.child.evaluate(environment, memo), self.predicate)
+
+
+class SelectManyPlan(_UnaryPlan):
+    """One-to-many mapping with data-dependent rescaling (Section 2.4)."""
+
+    def __init__(self, child: Plan, mapper: Callable[[Any], Any]) -> None:
+        super().__init__(child)
+        self.mapper = mapper
+
+    def _evaluate(self, environment, memo):
+        return xf.select_many(self.child.evaluate(environment, memo), self.mapper)
+
+
+class GroupByPlan(_UnaryPlan):
+    """Keyed grouping and reduction (Section 2.5)."""
+
+    def __init__(
+        self,
+        child: Plan,
+        key: Callable[[Any], Any],
+        reducer: Callable[[Sequence[Any]], Any] = tuple,
+    ) -> None:
+        super().__init__(child)
+        self.key = key
+        self.reducer = reducer
+
+    def _evaluate(self, environment, memo):
+        return xf.group_by(self.child.evaluate(environment, memo), self.key, self.reducer)
+
+
+class ShavePlan(_UnaryPlan):
+    """Decompose heavy records into indexed unit slices (Section 2.8)."""
+
+    def __init__(self, child: Plan, slice_weights: Any = 1.0) -> None:
+        super().__init__(child)
+        self.slice_weights = slice_weights
+
+    def _evaluate(self, environment, memo):
+        return xf.shave(self.child.evaluate(environment, memo), self.slice_weights)
+
+
+class DistinctPlan(_UnaryPlan):
+    """Cap every record's weight at a constant (PINQ's ``Distinct``)."""
+
+    def __init__(self, child: Plan, cap: float = 1.0) -> None:
+        super().__init__(child)
+        cap = float(cap)
+        if cap <= 0:
+            raise PlanError("Distinct cap must be positive")
+        self.cap = cap
+
+    def _evaluate(self, environment, memo):
+        return xf.distinct(self.child.evaluate(environment, memo), self.cap)
+
+    def _label(self) -> str:
+        return f"Distinct(cap={self.cap:g})"
+
+
+class DownScalePlan(_UnaryPlan):
+    """Uniformly scale every weight down by a constant in ``(0, 1]``."""
+
+    def __init__(self, child: Plan, factor: float) -> None:
+        super().__init__(child)
+        factor = float(factor)
+        if not 0.0 < factor <= 1.0:
+            raise PlanError("DownScale factor must satisfy 0 < factor <= 1")
+        self.factor = factor
+
+    def _evaluate(self, environment, memo):
+        return xf.down_scale(self.child.evaluate(environment, memo), self.factor)
+
+    def _label(self) -> str:
+        return f"DownScale(factor={self.factor:g})"
+
+
+class _BinaryPlan(Plan):
+    """Common machinery for two-input transformations."""
+
+    def __init__(self, left: Plan, right: Plan) -> None:
+        for side in (left, right):
+            if not isinstance(side, Plan):
+                raise PlanError(f"expected Plan operands, got {type(side).__name__}")
+        self.left = left
+        self.right = right
+        self.children = (left, right)
+
+
+class JoinPlan(_BinaryPlan):
+    """wPINQ's weight-rescaling equi-join (Section 2.7)."""
+
+    def __init__(
+        self,
+        left: Plan,
+        right: Plan,
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        result_selector: Callable[[Any, Any], Any] = lambda a, b: (a, b),
+    ) -> None:
+        super().__init__(left, right)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.result_selector = result_selector
+
+    def _evaluate(self, environment, memo):
+        return xf.join(
+            self.left.evaluate(environment, memo),
+            self.right.evaluate(environment, memo),
+            self.left_key,
+            self.right_key,
+            self.result_selector,
+        )
+
+
+class UnionPlan(_BinaryPlan):
+    """Element-wise maximum of weights (Section 2.6)."""
+
+    def _evaluate(self, environment, memo):
+        return xf.union(
+            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
+        )
+
+
+class IntersectPlan(_BinaryPlan):
+    """Element-wise minimum of weights (Section 2.6)."""
+
+    def _evaluate(self, environment, memo):
+        return xf.intersect(
+            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
+        )
+
+
+class ConcatPlan(_BinaryPlan):
+    """Element-wise sum of weights (Section 2.6)."""
+
+    def _evaluate(self, environment, memo):
+        return xf.concat(
+            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
+        )
+
+
+class ExceptPlan(_BinaryPlan):
+    """Element-wise difference of weights (Section 2.6)."""
+
+    def _evaluate(self, environment, memo):
+        return xf.except_(
+            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
+        )

@@ -1,0 +1,326 @@
+"""The analyst-facing fluent query API and privacy session.
+
+:class:`PrivacySession` owns the protected datasets, their privacy budgets and
+the measurement noise source.  :meth:`PrivacySession.protect` wraps a dataset
+into a :class:`Queryable`, wPINQ's analogue of a LINQ/PINQ queryable: each
+method call appends a stable transformation to a logical plan, and no data is
+touched until a differentially private aggregation such as
+:meth:`Queryable.noisy_count` is requested.
+
+At measurement time the session
+
+1. statically counts how many times each protected source appears in the plan
+   (Section 2.3),
+2. atomically charges ``ε × multiplicity`` against every source's budget,
+   refusing the measurement entirely if any budget would be exceeded, and
+3. evaluates the plan eagerly and returns a
+   :class:`~repro.core.aggregation.NoisyCountResult`.
+
+A typical graph analysis looks like::
+
+    session = PrivacySession(seed=0)
+    edges = session.protect("edges", edge_records, total_epsilon=1.0)
+    degrees = edges.group_by(key=lambda e: e[0], reducer=len)
+    measurement = degrees.noisy_count(0.1)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import PlanError
+from .aggregation import NoisyCountResult, noisy_sum
+from .budget import BudgetLedger
+from .dataset import WeightedDataset
+from .laplace import LaplaceNoise, validate_epsilon
+from .plan import (
+    ConcatPlan,
+    DistinctPlan,
+    DownScalePlan,
+    ExceptPlan,
+    GroupByPlan,
+    IntersectPlan,
+    JoinPlan,
+    Plan,
+    SelectManyPlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+    UnionPlan,
+    WherePlan,
+)
+
+__all__ = ["PrivacySession", "Queryable"]
+
+
+class PrivacySession:
+    """Holds protected datasets, their budgets, and the noise source.
+
+    Parameters
+    ----------
+    seed:
+        Optional seed (or :class:`numpy.random.Generator`) for the Laplace
+        noise used by every measurement taken through this session.  Fixing
+        the seed makes experiments reproducible without weakening the privacy
+        semantics of the mechanism itself.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self.ledger = BudgetLedger()
+        self.noise = LaplaceNoise(seed)
+        self._datasets: dict[str, WeightedDataset] = {}
+
+    # ------------------------------------------------------------------
+    def protect(
+        self,
+        name: str,
+        data: WeightedDataset | Mapping[Any, float] | Iterable[Any],
+        total_epsilon: float = float("inf"),
+        record_weight: float = 1.0,
+    ) -> "Queryable":
+        """Register a protected dataset and return a queryable over it.
+
+        ``data`` may be a :class:`WeightedDataset`, a mapping of record to
+        weight, or a plain iterable of records (each given ``record_weight``,
+        the usual way to lift a multiset such as a graph's edge list).
+        """
+        if name in self._datasets:
+            raise PlanError(f"a dataset named {name!r} is already protected")
+        if isinstance(data, WeightedDataset):
+            dataset = data
+        elif isinstance(data, Mapping):
+            dataset = WeightedDataset(data)
+        else:
+            dataset = WeightedDataset.from_records(data, weight=record_weight)
+        self._datasets[name] = dataset
+        self.ledger.register(name, total_epsilon)
+        return Queryable(self, SourcePlan(name))
+
+    def from_plan(self, plan: Plan) -> "Queryable":
+        """Wrap an existing plan (all of whose sources must be registered)."""
+        missing = plan.source_names() - set(self._datasets)
+        if missing:
+            raise PlanError(f"plan references unregistered sources: {sorted(missing)}")
+        return Queryable(self, plan)
+
+    # ------------------------------------------------------------------
+    def environment(self) -> dict[str, WeightedDataset]:
+        """The mapping of source names to protected datasets (internal)."""
+        return dict(self._datasets)
+
+    def dataset(self, name: str) -> WeightedDataset:
+        """Return the protected dataset registered under ``name`` (internal).
+
+        Exposed for tests and for trusted-curator style workflows; analyst
+        code should only ever interact with datasets through measurements.
+        """
+        try:
+            return self._datasets[name]
+        except KeyError as exc:
+            raise PlanError(f"no protected dataset named {name!r}") from exc
+
+    def remaining_budget(self, name: str) -> float:
+        """ε remaining for the named protected dataset."""
+        return self.ledger.remaining(name)
+
+    def spent_budget(self, name: str) -> float:
+        """ε already consumed by the named protected dataset."""
+        return self.ledger.spent(name)
+
+    def budget_report(self) -> dict[str, dict[str, float]]:
+        """Per-source budget summary (total / spent / remaining)."""
+        return self.ledger.report()
+
+
+class Queryable:
+    """A wPINQ query under construction.
+
+    Instances are immutable: every transformation returns a new queryable
+    wrapping a larger plan, so sub-queries can be freely shared and reused
+    (the privacy accounting counts every use).
+    """
+
+    def __init__(self, session: PrivacySession, plan: Plan) -> None:
+        self._session = session
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    @property
+    def session(self) -> PrivacySession:
+        """The privacy session this queryable belongs to."""
+        return self._session
+
+    @property
+    def plan(self) -> Plan:
+        """The logical plan accumulated so far."""
+        return self._plan
+
+    def _wrap(self, plan: Plan) -> "Queryable":
+        return Queryable(self._session, plan)
+
+    def _check_same_session(self, other: "Queryable") -> None:
+        if not isinstance(other, Queryable):
+            raise PlanError(
+                f"binary transformations require another Queryable, got "
+                f"{type(other).__name__}"
+            )
+        if other._session is not self._session:
+            raise PlanError("cannot combine queryables from different privacy sessions")
+
+    # ------------------------------------------------------------------
+    # Stable transformations (each documented in repro.core.transformations)
+    # ------------------------------------------------------------------
+    def select(self, mapper: Callable[[Any], Any]) -> "Queryable":
+        """Per-record transformation; weights of colliding outputs accumulate."""
+        return self._wrap(SelectPlan(self._plan, mapper))
+
+    def where(self, predicate: Callable[[Any], bool]) -> "Queryable":
+        """Keep only records satisfying ``predicate``."""
+        return self._wrap(WherePlan(self._plan, predicate))
+
+    def select_many(self, mapper: Callable[[Any], Any]) -> "Queryable":
+        """One-to-many transformation with per-record down-scaling."""
+        return self._wrap(SelectManyPlan(self._plan, mapper))
+
+    def group_by(
+        self,
+        key: Callable[[Any], Any],
+        reducer: Callable[[Sequence[Any]], Any] = tuple,
+    ) -> "Queryable":
+        """Group records by key and reduce each group."""
+        return self._wrap(GroupByPlan(self._plan, key, reducer))
+
+    def shave(self, slice_weights: Any = 1.0) -> "Queryable":
+        """Break heavy records into indexed slices of the given weight(s)."""
+        return self._wrap(ShavePlan(self._plan, slice_weights))
+
+    def distinct(self, cap: float = 1.0) -> "Queryable":
+        """Cap every record's weight at ``cap`` (PINQ's Distinct)."""
+        return self._wrap(DistinctPlan(self._plan, cap))
+
+    def down_scale(self, factor: float) -> "Queryable":
+        """Uniformly scale every weight by ``factor`` with ``0 < factor ≤ 1``."""
+        return self._wrap(DownScalePlan(self._plan, factor))
+
+    def partition(
+        self,
+        key: Callable[[Any], Any],
+        keys: Iterable[Any],
+    ) -> "Partition":
+        """Split the query into disjoint parts keyed by ``key``.
+
+        Returns a :class:`~repro.core.partition.Partition`, a mapping from
+        each value in ``keys`` to a queryable over the records whose key
+        equals that value.  Measurements taken over different parts compose in
+        *parallel*: the charge to each protected source is the running
+        **maximum** over the parts, not the sum (the parts are disjoint
+        restrictions, so ``Σ_k ‖Q_k(A) − Q_k(A')‖ ≤ ‖Q(A) − Q(A')‖``).
+        """
+        from .partition import Partition
+
+        return Partition(self, key, keys)
+
+    def join(
+        self,
+        other: "Queryable",
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        result_selector: Callable[[Any, Any], Any] = lambda a, b: (a, b),
+    ) -> "Queryable":
+        """wPINQ's stable equi-join with per-key weight normalisation."""
+        self._check_same_session(other)
+        return self._wrap(
+            JoinPlan(self._plan, other._plan, left_key, right_key, result_selector)
+        )
+
+    def union(self, other: "Queryable") -> "Queryable":
+        """Element-wise maximum of weights."""
+        self._check_same_session(other)
+        return self._wrap(UnionPlan(self._plan, other._plan))
+
+    def intersect(self, other: "Queryable") -> "Queryable":
+        """Element-wise minimum of weights."""
+        self._check_same_session(other)
+        return self._wrap(IntersectPlan(self._plan, other._plan))
+
+    def concat(self, other: "Queryable") -> "Queryable":
+        """Element-wise sum of weights."""
+        self._check_same_session(other)
+        return self._wrap(ConcatPlan(self._plan, other._plan))
+
+    def except_with(self, other: "Queryable") -> "Queryable":
+        """Element-wise difference of weights."""
+        self._check_same_session(other)
+        return self._wrap(ExceptPlan(self._plan, other._plan))
+
+    # ------------------------------------------------------------------
+    # Privacy accounting
+    # ------------------------------------------------------------------
+    def source_uses(self) -> dict[str, int]:
+        """How many times each protected source appears in the plan."""
+        return dict(self._plan.source_multiplicities())
+
+    def privacy_cost(self, epsilon: float) -> dict[str, float]:
+        """ε charged to each protected source by a measurement at ``epsilon``.
+
+        A source used ``k`` times is charged ``k·ε`` (Section 2.3).
+        """
+        epsilon = validate_epsilon(epsilon)
+        return {name: count * epsilon for name, count in self.source_uses().items()}
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def noisy_count(self, epsilon: float, query_name: str = "") -> NoisyCountResult:
+        """Release every record's weight with ``Laplace(1/ε)`` noise.
+
+        Charges ``ε × multiplicity`` to every protected source used by the
+        plan before touching any data; raises
+        :class:`~repro.exceptions.BudgetExceededError` (charging nothing) if
+        any budget is insufficient.
+        """
+        costs = self.privacy_cost(epsilon)
+        label = query_name or f"noisy_count(eps={epsilon:g})"
+        self._session.ledger.charge(costs, description=label)
+        exact = self._plan.evaluate(self._session.environment())
+        return NoisyCountResult(
+            exact,
+            epsilon,
+            noise=self._session.noise,
+            plan=self._plan,
+            query_name=query_name,
+        )
+
+    def noisy_sum(
+        self,
+        epsilon: float,
+        value_selector: Callable[[Any], float] = lambda record: 1.0,
+        clamp: float = 1.0,
+        query_name: str = "",
+    ) -> float:
+        """Release a single clamped, weighted sum with Laplace noise."""
+        costs = self.privacy_cost(epsilon)
+        label = query_name or f"noisy_sum(eps={epsilon:g})"
+        self._session.ledger.charge(costs, description=label)
+        exact = self._plan.evaluate(self._session.environment())
+        return noisy_sum(
+            exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
+        )
+
+    # ------------------------------------------------------------------
+    # Escape hatch (no privacy!)
+    # ------------------------------------------------------------------
+    def evaluate_unprotected(self) -> WeightedDataset:
+        """Evaluate the plan exactly, with **no noise and no budget charge**.
+
+        This exists for testing, for documentation examples, and for running
+        wPINQ queries against *public/synthetic* datasets inside the MCMC
+        loop.  It must never be used to release results about protected data.
+        """
+        return self._plan.evaluate(self._session.environment())
+
+    def __repr__(self) -> str:
+        uses = ", ".join(f"{name}×{count}" for name, count in sorted(self.source_uses().items()))
+        return f"<Queryable uses=[{uses}]>"

@@ -1,0 +1,75 @@
+"""Weight deltas: the currency of the incremental dataflow engine.
+
+A *delta* is simply a mapping ``record -> change in weight``.  Pushing the
+delta ``{x: +1.0}`` into a source corresponds to adding a unit-weight record
+``x``; ``{x: -1.0}`` removes it.  The incremental operators in
+:mod:`repro.dataflow.operators` consume input deltas and emit output deltas so
+that, after any sequence of pushes, every operator's accumulated output equals
+what the eager evaluator would produce on the accumulated input — the
+correspondence the engine's tests verify exhaustively.
+
+Deltas are plain ``dict`` objects; this module only provides the small set of
+helpers the operators share (accumulation, negation, pruning of floating-point
+dust and conversion from datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..core.dataset import DEFAULT_TOLERANCE, WeightedDataset
+
+__all__ = [
+    "Delta",
+    "delta_from_dataset",
+    "accumulate",
+    "negate",
+    "prune",
+    "apply_delta",
+]
+
+#: Type alias used throughout the dataflow package.
+Delta = dict
+
+
+def delta_from_dataset(dataset: WeightedDataset) -> Delta:
+    """View a dataset as a delta from the empty dataset."""
+    return dataset.to_dict()
+
+
+def accumulate(target: Delta, updates: Mapping[Any, float] | Iterable[tuple[Any, float]]) -> Delta:
+    """Add ``updates`` into ``target`` in place and return it."""
+    items = updates.items() if isinstance(updates, Mapping) else updates
+    for record, weight in items:
+        target[record] = target.get(record, 0.0) + weight
+    return target
+
+
+def negate(delta: Mapping[Any, float]) -> Delta:
+    """Return the delta with every weight change negated."""
+    return {record: -weight for record, weight in delta.items()}
+
+
+def prune(delta: Delta, tolerance: float = DEFAULT_TOLERANCE) -> Delta:
+    """Drop entries whose magnitude is below ``tolerance`` (in place)."""
+    stale = [record for record, weight in delta.items() if abs(weight) <= tolerance]
+    for record in stale:
+        del delta[record]
+    return delta
+
+
+def apply_delta(
+    weights: dict, delta: Mapping[Any, float], tolerance: float = DEFAULT_TOLERANCE
+) -> dict:
+    """Apply a delta to a ``record -> weight`` dict in place and return it.
+
+    Records whose resulting weight is within ``tolerance`` of zero are removed
+    so state does not accumulate dead entries over long MCMC runs.
+    """
+    for record, change in delta.items():
+        updated = weights.get(record, 0.0) + change
+        if abs(updated) <= tolerance:
+            weights.pop(record, None)
+        else:
+            weights[record] = updated
+    return weights

@@ -1,0 +1,398 @@
+"""Incremental implementations of every wPINQ transformation.
+
+Each class mirrors one stable transformation from
+:mod:`repro.core.transformations` and maintains whatever indexed state it
+needs to answer the question "how does my output change when my input changes
+by this delta?" without recomputing from scratch (Appendix B of the paper).
+
+Linear operators (Select, Where, SelectMany, Concat, Except) are stateless
+pipelines: an input weight change of ``δ`` on record ``x`` simply produces the
+correspondingly scaled output changes.  Non-linear operators (Shave, GroupBy,
+Join, Union, Intersect) keep their inputs indexed — by record or by join/group
+key — and recompute only the affected parts, emitting the difference between
+the part's old and new output.  Because every wPINQ transformation is
+data-parallel over those parts, this is exactly the "only recompute what
+changed" strategy the paper describes.
+
+All mapper/key/reducer functions are assumed to be pure (deterministic,
+side-effect free); the same assumption underlies the eager evaluator and the
+privacy proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..core import transformations as xf
+from ..core.dataset import WeightedDataset
+from .delta import Delta, accumulate, apply_delta
+from .nodes import Node
+
+__all__ = [
+    "SelectNode",
+    "WhereNode",
+    "SelectManyNode",
+    "ShaveNode",
+    "GroupByNode",
+    "JoinNode",
+    "UnionNode",
+    "IntersectNode",
+    "ConcatNode",
+    "ExceptNode",
+    "DistinctNode",
+    "DownScaleNode",
+]
+
+
+# ----------------------------------------------------------------------
+# Stateless / linear operators
+# ----------------------------------------------------------------------
+class SelectNode(Node):
+    """Incremental ``Select``: linear, so deltas map straight through."""
+
+    def __init__(self, mapper: Callable[[Any], Any], name: str = "select") -> None:
+        super().__init__(name)
+        self._mapper = mapper
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        output: Delta = {}
+        for record, change in delta.items():
+            accumulate(output, [(self._mapper(record), change)])
+        self.emit(output)
+
+
+class WhereNode(Node):
+    """Incremental ``Where``: drop delta entries failing the predicate."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str = "where") -> None:
+        super().__init__(name)
+        self._predicate = predicate
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        output = {
+            record: change for record, change in delta.items() if self._predicate(record)
+        }
+        self.emit(output)
+
+
+class SelectManyNode(Node):
+    """Incremental ``SelectMany``.
+
+    The transformation is linear in the input weight — record ``x`` with
+    weight ``A(x)`` contributes ``A(x) · f(x)/max(1, ‖f(x)‖)`` — so a weight
+    change of ``δ`` contributes ``δ`` times the same normalised collection.
+    The normalised collections are memoised per record because the mapper may
+    be arbitrarily expensive and MCMC revisits the same records repeatedly.
+    """
+
+    def __init__(self, mapper: Callable[[Any], Any], name: str = "select_many") -> None:
+        super().__init__(name)
+        self._mapper = mapper
+        self._normalized: dict[Any, list[tuple[Any, float]]] = {}
+
+    def _normalized_output(self, record: Any) -> list[tuple[Any, float]]:
+        if record not in self._normalized:
+            produced = xf.normalize_weighted_output(self._mapper(record))
+            norm = sum(abs(weight) for _, weight in produced)
+            scale = 1.0 / max(1.0, norm)
+            self._normalized[record] = [
+                (out_record, weight * scale) for out_record, weight in produced
+            ]
+        return self._normalized[record]
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        output: Delta = {}
+        for record, change in delta.items():
+            for out_record, unit_weight in self._normalized_output(record):
+                accumulate(output, [(out_record, unit_weight * change)])
+        self.emit(output)
+
+
+class DownScaleNode(Node):
+    """Incremental ``DownScale``: linear, so deltas are scaled straight through."""
+
+    def __init__(self, factor: float, name: str = "down_scale") -> None:
+        super().__init__(name)
+        self._factor = float(factor)
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        self.emit({record: change * self._factor for record, change in delta.items()})
+
+
+class DistinctNode(Node):
+    """Incremental ``Distinct``: re-cap only the records whose weight changed."""
+
+    def __init__(self, cap: float = 1.0, name: str = "distinct") -> None:
+        super().__init__(name)
+        self._cap = float(cap)
+        self._weights: dict[Any, float] = {}
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        output: Delta = {}
+        for record, change in delta.items():
+            before = min(self._weights.get(record, 0.0), self._cap)
+            apply_delta(self._weights, {record: change})
+            after = min(self._weights.get(record, 0.0), self._cap)
+            if after != before:
+                accumulate(output, [(record, after - before)])
+        self.emit(output)
+
+
+class ConcatNode(Node):
+    """Incremental ``Concat``: deltas from either port pass straight through."""
+
+    def __init__(self, name: str = "concat") -> None:
+        super().__init__(name)
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        self.emit(dict(delta))
+
+
+class ExceptNode(Node):
+    """Incremental ``Except``: port 1 deltas pass through negated."""
+
+    def __init__(self, name: str = "except") -> None:
+        super().__init__(name)
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        if port == 0:
+            self.emit(dict(delta))
+        else:
+            self.emit({record: -change for record, change in delta.items()})
+
+
+# ----------------------------------------------------------------------
+# Stateful per-record operators
+# ----------------------------------------------------------------------
+class ShaveNode(Node):
+    """Incremental ``Shave``: re-slice only the records whose weight changed."""
+
+    def __init__(self, slice_weights: Any = 1.0, name: str = "shave") -> None:
+        super().__init__(name)
+        self._slice_weights = slice_weights
+        self._weights: dict[Any, float] = {}
+
+    def _slices(self, record: Any) -> dict[Any, float]:
+        weight = self._weights.get(record, 0.0)
+        if weight <= 0.0:
+            return {}
+        single = WeightedDataset({record: weight})
+        return xf.shave(single, self._slice_weights).to_dict()
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        output: Delta = {}
+        for record, change in delta.items():
+            before = self._slices(record)
+            apply_delta(self._weights, {record: change})
+            after = self._slices(record)
+            for out_record, weight in after.items():
+                accumulate(output, [(out_record, weight - before.pop(out_record, 0.0))])
+            for out_record, weight in before.items():
+                accumulate(output, [(out_record, -weight)])
+        self.emit(output)
+
+
+class UnionNode(Node):
+    """Incremental ``Union`` (element-wise max over two inputs)."""
+
+    combiner = staticmethod(max)
+
+    def __init__(self, name: str = "union") -> None:
+        super().__init__(name)
+        self._weights: tuple[dict[Any, float], dict[Any, float]] = ({}, {})
+
+    def _combined(self, record: Any) -> float:
+        left = self._weights[0].get(record, 0.0)
+        right = self._weights[1].get(record, 0.0)
+        return self.combiner(left, right)
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        if port not in (0, 1):
+            raise ValueError(f"binary operator has ports 0 and 1, got {port}")
+        output: Delta = {}
+        for record, change in delta.items():
+            before = self._combined(record)
+            apply_delta(self._weights[port], {record: change})
+            after = self._combined(record)
+            if after != before:
+                accumulate(output, [(record, after - before)])
+        self.emit(output)
+
+
+class IntersectNode(UnionNode):
+    """Incremental ``Intersect`` (element-wise min over two inputs)."""
+
+    combiner = staticmethod(min)
+
+    def __init__(self, name: str = "intersect") -> None:
+        super().__init__(name)
+
+
+# ----------------------------------------------------------------------
+# Stateful keyed operators
+# ----------------------------------------------------------------------
+class GroupByNode(Node):
+    """Incremental ``GroupBy``: recompute only the groups whose key changed."""
+
+    def __init__(
+        self,
+        key: Callable[[Any], Any],
+        reducer: Callable[[Sequence[Any]], Any] = tuple,
+        name: str = "group_by",
+    ) -> None:
+        super().__init__(name)
+        self._key = key
+        self._reducer = reducer
+        self._groups: dict[Any, dict[Any, float]] = {}
+
+    def _group_output(self, key: Any) -> dict[Any, float]:
+        part = self._groups.get(key)
+        if not part:
+            return {}
+        output: dict[Any, float] = {}
+        for members, weight in xf.group_prefixes(WeightedDataset(part)):
+            out_record = (key, self._reducer(list(members)))
+            output[out_record] = output.get(out_record, 0.0) + weight
+        return output
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        by_key: dict[Any, Delta] = {}
+        for record, change in delta.items():
+            by_key.setdefault(self._key(record), {})[record] = change
+        output: Delta = {}
+        for key, key_delta in by_key.items():
+            before = self._group_output(key)
+            part = self._groups.setdefault(key, {})
+            apply_delta(part, key_delta)
+            if not part:
+                self._groups.pop(key, None)
+            after = self._group_output(key)
+            for out_record, weight in after.items():
+                accumulate(output, [(out_record, weight - before.pop(out_record, 0.0))])
+            for out_record, weight in before.items():
+                accumulate(output, [(out_record, -weight)])
+        self.emit(output)
+
+
+class JoinNode(Node):
+    """Incremental wPINQ ``Join``.
+
+    Both inputs are kept indexed by join key.  When a delta arrives on either
+    port, only the affected keys are re-joined.  Two regimes (Appendix B):
+
+    * If the per-key normaliser ``‖A_k‖ + ‖B_k‖`` is unchanged by the delta —
+      the common case under the MCMC edge-swap walk, where edges move between
+      keys without changing any degree — the emitted difference is simply the
+      cross product of the *changed* records against the other side, scaled by
+      the unchanged normaliser: ``(a ⋈ B_k) / n``.
+    * Otherwise the node recomputes the affected key's full contribution
+      before and after folding in the delta and emits the difference, which
+      correctly rescales every output record of that key.
+    """
+
+    #: Relative tolerance used to decide that a key's normaliser is unchanged.
+    _NORM_TOLERANCE = 1e-9
+
+    def __init__(
+        self,
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        result_selector: Callable[[Any, Any], Any] = lambda a, b: (a, b),
+        name: str = "join",
+    ) -> None:
+        super().__init__(name)
+        self._keys = (left_key, right_key)
+        self._result_selector = result_selector
+        self._indexes: tuple[dict[Any, dict[Any, float]], dict[Any, dict[Any, float]]] = (
+            {},
+            {},
+        )
+
+    def _key_norm(self, key: Any) -> float:
+        total = 0.0
+        for index in self._indexes:
+            part = index.get(key)
+            if part:
+                total += sum(abs(weight) for weight in part.values())
+        return total
+
+    def _key_output(self, key: Any) -> dict[Any, float]:
+        left_part = self._indexes[0].get(key)
+        right_part = self._indexes[1].get(key)
+        if not left_part or not right_part:
+            return {}
+        denominator = self._key_norm(key)
+        if denominator <= 0.0:
+            return {}
+        output: dict[Any, float] = {}
+        for left_record, left_weight in left_part.items():
+            for right_record, right_weight in right_part.items():
+                weight = left_weight * right_weight / denominator
+                if weight == 0.0:
+                    continue
+                out_record = self._result_selector(left_record, right_record)
+                output[out_record] = output.get(out_record, 0.0) + weight
+        return output
+
+    def _cross_with_other_side(
+        self, key: Any, key_delta: Delta, port: int, denominator: float
+    ) -> dict[Any, float]:
+        """The contribution of changed records against the other (fixed) side."""
+        other = self._indexes[1 - port].get(key)
+        output: dict[Any, float] = {}
+        if not other or denominator <= 0.0:
+            return output
+        for record, change in key_delta.items():
+            for other_record, other_weight in other.items():
+                weight = change * other_weight / denominator
+                if weight == 0.0:
+                    continue
+                if port == 0:
+                    out_record = self._result_selector(record, other_record)
+                else:
+                    out_record = self._result_selector(other_record, record)
+                output[out_record] = output.get(out_record, 0.0) + weight
+        return output
+
+    def on_delta(self, delta: Delta, port: int = 0) -> None:
+        if port not in (0, 1):
+            raise ValueError(f"binary operator has ports 0 and 1, got {port}")
+        key_func = self._keys[port]
+        index = self._indexes[port]
+        by_key: dict[Any, Delta] = {}
+        for record, change in delta.items():
+            by_key.setdefault(key_func(record), {})[record] = change
+        output: Delta = {}
+        for key, key_delta in by_key.items():
+            net_change = sum(key_delta.values())
+            old_part = index.get(key, {})
+            norm_preserved = (
+                abs(net_change) <= self._NORM_TOLERANCE
+                and all(old_part.get(record, 0.0) + change >= 0.0 for record, change in key_delta.items())
+                and all(weight >= 0.0 for weight in old_part.values())
+            )
+            if norm_preserved:
+                # Fast path: ‖A_k‖ + ‖B_k‖ is unchanged, so existing output
+                # records keep their scale and only the changed records'
+                # pairings need to be emitted.
+                denominator = self._key_norm(key)
+                part = index.setdefault(key, {})
+                apply_delta(part, key_delta)
+                if not part:
+                    index.pop(key, None)
+                for out_record, weight in self._cross_with_other_side(
+                    key, key_delta, port, denominator
+                ).items():
+                    accumulate(output, [(out_record, weight)])
+                continue
+            before = self._key_output(key)
+            part = index.setdefault(key, {})
+            apply_delta(part, key_delta)
+            if not part:
+                index.pop(key, None)
+            after = self._key_output(key)
+            for out_record, weight in after.items():
+                accumulate(output, [(out_record, weight - before.pop(out_record, 0.0))])
+            for out_record, weight in before.items():
+                accumulate(output, [(out_record, -weight)])
+        self.emit(output)

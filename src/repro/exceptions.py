@@ -1,0 +1,52 @@
+"""Exception hierarchy for the wPINQ reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish privacy-accounting failures from plain usage errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a measurement would exceed a dataset's privacy budget.
+
+    The measurement is *not* performed and no privacy budget is consumed when
+    this error is raised, mirroring PINQ/wPINQ semantics where the budget
+    check happens before any noisy value is computed.
+    """
+
+    def __init__(self, requested, remaining, source=None):
+        self.requested = float(requested)
+        self.remaining = float(remaining)
+        self.source = source
+        name = f" for source {source!r}" if source is not None else ""
+        super().__init__(
+            f"privacy budget exceeded{name}: requested epsilon "
+            f"{self.requested:.6g}, remaining {self.remaining:.6g}"
+        )
+
+
+class InvalidEpsilonError(ReproError):
+    """Raised when a non-positive or non-finite epsilon is supplied."""
+
+
+class PlanError(ReproError):
+    """Raised when a query plan is malformed.
+
+    Examples: joining queryables that belong to different privacy sessions,
+    or evaluating a plan against an environment that is missing one of its
+    protected sources.
+    """
+
+
+class DataflowError(ReproError):
+    """Raised on inconsistent use of the incremental dataflow engine."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid graph operations (self-loops, missing vertices...)."""

@@ -1,0 +1,45 @@
+"""Experiment harness used by the benchmark suite to regenerate the paper's
+tables and figures."""
+
+from .config import ExperimentConfig, default_config
+from .report import format_series, format_table, format_value
+from .workflows import (
+    TrajectoryResult,
+    combined_measurements_ablation,
+    degree_sequence_ablation,
+    figure1_comparison,
+    figure3_tbd_bucketing,
+    figure4_tbi_fitting,
+    figure5_epsilon_sensitivity,
+    figure6_scalability,
+    jdd_accuracy_ablation,
+    run_tbd_synthesis,
+    run_tbi_synthesis,
+    smooth_sensitivity_ablation,
+    table1_graph_statistics,
+    table2_tbi_triangles,
+    table3_barabasi,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "format_table",
+    "format_series",
+    "format_value",
+    "TrajectoryResult",
+    "figure1_comparison",
+    "table1_graph_statistics",
+    "figure3_tbd_bucketing",
+    "table2_tbi_triangles",
+    "figure4_tbi_fitting",
+    "figure5_epsilon_sensitivity",
+    "table3_barabasi",
+    "figure6_scalability",
+    "jdd_accuracy_ablation",
+    "degree_sequence_ablation",
+    "combined_measurements_ablation",
+    "smooth_sensitivity_ablation",
+    "run_tbi_synthesis",
+    "run_tbd_synthesis",
+]

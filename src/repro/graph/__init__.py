@@ -1,0 +1,67 @@
+"""Graph substrate: data structures, statistics, generators and datasets."""
+
+from .datasets import (
+    PAPER_GRAPH_SPECS,
+    PAPER_REPORTED_STATISTICS,
+    GraphSpec,
+    load_paper_graph,
+    paper_graph_with_twin,
+    paper_graphs,
+)
+from .generators import (
+    barabasi_albert,
+    collaboration_graph,
+    degree_preserving_rewire,
+    erdos_renyi,
+    graph_from_degree_sequence,
+    random_twin,
+    social_graph,
+)
+from .graph import Graph
+from .io import parse_edge_lines, read_edge_list, write_edge_list
+from .statistics import (
+    assortativity,
+    average_clustering,
+    degree_ccdf,
+    degree_histogram,
+    degree_sequence,
+    iter_triangles,
+    joint_degree_distribution,
+    square_count,
+    squares_by_degree,
+    summarize,
+    triangle_count,
+    triangles_by_degree,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "graph_from_degree_sequence",
+    "degree_preserving_rewire",
+    "random_twin",
+    "collaboration_graph",
+    "social_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_lines",
+    "GraphSpec",
+    "PAPER_GRAPH_SPECS",
+    "PAPER_REPORTED_STATISTICS",
+    "load_paper_graph",
+    "paper_graphs",
+    "paper_graph_with_twin",
+    "degree_histogram",
+    "degree_sequence",
+    "degree_ccdf",
+    "joint_degree_distribution",
+    "iter_triangles",
+    "triangle_count",
+    "triangles_by_degree",
+    "square_count",
+    "squares_by_degree",
+    "assortativity",
+    "average_clustering",
+    "summarize",
+]

@@ -1,0 +1,209 @@
+"""A small undirected simple-graph type used throughout the reproduction.
+
+The protected inputs to every graph analysis in the paper are *edge sets*: the
+dataset ``edges`` contains each directed edge ``(a, b)`` with weight 1.0, and
+symmetric graphs carry both ``(a, b)`` and ``(b, a)``.  :class:`Graph` is the
+in-memory representation the rest of the library builds those edge records
+from, and the state the Metropolis–Hastings random walk mutates.
+
+Only the operations the platform needs are implemented — adjacency queries,
+degree bookkeeping, edge swaps, conversion to/from edge records — with the
+heavier statistics (triangles, assortativity, joint degree distribution)
+living in :mod:`repro.graph.statistics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..exceptions import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph (no self-loops, no parallel edges)."""
+
+    def __init__(self, edges: Iterable[tuple[Any, Any]] | None = None) -> None:
+        self._adjacency: dict[Any, set] = {}
+        self._edge_count = 0
+        if edges is not None:
+            for a, b in edges:
+                self.add_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Any, Any]]) -> "Graph":
+        """Build a graph from an iterable of (possibly repeated) edges."""
+        return cls(edges)
+
+    @classmethod
+    def from_edge_records(cls, records: Iterable[tuple[Any, Any]]) -> "Graph":
+        """Build a graph from directed edge records (both directions present).
+
+        This is the inverse of :meth:`to_edge_records`: duplicate and reversed
+        records collapse onto a single undirected edge.
+        """
+        return cls(records)
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        clone = Graph()
+        clone._adjacency = {node: set(neighbors) for node, neighbors in self._adjacency.items()}
+        clone._edge_count = self._edge_count
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Any) -> None:
+        """Ensure ``node`` exists (possibly with degree zero)."""
+        self._adjacency.setdefault(node, set())
+
+    def add_edge(self, a: Any, b: Any) -> bool:
+        """Add the undirected edge ``{a, b}``; returns False if it existed.
+
+        Self-loops are rejected because none of the paper's analyses allow
+        them (length-two cycles are explicitly filtered out of path queries).
+        """
+        if a == b:
+            raise GraphError(f"self-loops are not allowed (node {a!r})")
+        self.add_node(a)
+        self.add_node(b)
+        if b in self._adjacency[a]:
+            return False
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._edge_count += 1
+        return True
+
+    def remove_edge(self, a: Any, b: Any) -> None:
+        """Remove the undirected edge ``{a, b}``; raises if absent."""
+        if not self.has_edge(a, b):
+            raise GraphError(f"edge ({a!r}, {b!r}) is not in the graph")
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        self._edge_count -= 1
+
+    def swap_edges(self, a: Any, b: Any, c: Any, d: Any) -> None:
+        """Replace edges ``(a, b)`` and ``(c, d)`` by ``(a, d)`` and ``(c, b)``.
+
+        This is the degree-preserving move used by the MCMC random walk
+        (Section 5.1).  The caller is responsible for checking
+        :meth:`can_swap` first; invalid swaps raise :class:`GraphError` and
+        leave the graph unchanged.
+        """
+        if not self.can_swap(a, b, c, d):
+            raise GraphError(f"cannot swap ({a!r},{b!r}) and ({c!r},{d!r})")
+        self.remove_edge(a, b)
+        self.remove_edge(c, d)
+        self.add_edge(a, d)
+        self.add_edge(c, b)
+
+    def can_swap(self, a: Any, b: Any, c: Any, d: Any) -> bool:
+        """True if swapping ``(a,b),(c,d) -> (a,d),(c,b)`` keeps the graph simple."""
+        if len({a, b, c, d}) != 4:
+            return False
+        if not (self.has_edge(a, b) and self.has_edge(c, d)):
+            return False
+        if self.has_edge(a, d) or self.has_edge(c, b):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Any) -> bool:
+        """True if ``node`` is in the graph."""
+        return node in self._adjacency
+
+    def has_edge(self, a: Any, b: Any) -> bool:
+        """True if the undirected edge ``{a, b}`` is present."""
+        return a in self._adjacency and b in self._adjacency[a]
+
+    def nodes(self) -> list:
+        """All nodes (including isolated ones)."""
+        return list(self._adjacency)
+
+    def neighbors(self, node: Any) -> set:
+        """The neighbour set of ``node``."""
+        try:
+            return set(self._adjacency[node])
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} is not in the graph") from exc
+
+    def degree(self, node: Any) -> int:
+        """Degree of ``node`` (zero if absent)."""
+        return len(self._adjacency.get(node, ()))
+
+    def degrees(self) -> dict[Any, int]:
+        """Mapping of every node to its degree."""
+        return {node: len(neighbors) for node, neighbors in self._adjacency.items()}
+
+    def max_degree(self) -> int:
+        """The maximum degree, or zero for an empty graph."""
+        if not self._adjacency:
+            return 0
+        return max(len(neighbors) for neighbors in self._adjacency.values())
+
+    def number_of_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adjacency)
+
+    def number_of_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._edge_count
+
+    def edges(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate over each undirected edge exactly once."""
+        seen = set()
+        for node, neighbors in self._adjacency.items():
+            for other in neighbors:
+                key = (node, other) if repr(node) <= repr(other) else (other, node)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def edge_list(self) -> list[tuple[Any, Any]]:
+        """All undirected edges as a list."""
+        return list(self.edges())
+
+    def degree_sum_of_squares(self) -> int:
+        """``Σ_v d_v²`` — the scaling quantity of Figure 6."""
+        return sum(len(neighbors) ** 2 for neighbors in self._adjacency.values())
+
+    # ------------------------------------------------------------------
+    # Conversion to wPINQ edge records
+    # ------------------------------------------------------------------
+    def to_edge_records(self, symmetric: bool = True) -> list[tuple[Any, Any]]:
+        """The graph as directed edge records, the paper's protected input.
+
+        With ``symmetric=True`` (the form used in every experiment of
+        Section 5) both ``(a, b)`` and ``(b, a)`` appear, so the dataset size
+        is ``2·|E|``.
+        """
+        records: list[tuple[Any, Any]] = []
+        for a, b in self.edges():
+            records.append((a, b))
+            if symmetric:
+                records.append((b, a))
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(nodes={self.number_of_nodes()}, edges={self.number_of_edges()}, "
+            f"dmax={self.max_degree()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result

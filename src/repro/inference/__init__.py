@@ -1,0 +1,44 @@
+"""Probabilistic inference: MCMC synthesis of datasets from measurements."""
+
+from .mcmc import (
+    IncrementalMetropolisHastings,
+    MCMCResult,
+    MCMCStepRecord,
+    MetropolisHastings,
+)
+from .random_walks import EdgeSwapWalk, RecordReplacementWalk, edge_swap_delta
+from .scoring import MeasurementScore, ScoreTracker
+from .seed import (
+    DegreeSequenceMeasurements,
+    SEED_EDGE_USES,
+    build_seed_graph,
+    measure_degree_statistics,
+    seed_graph_from_edges,
+)
+from .synthesizer import (
+    DEFAULT_POW,
+    GraphSynthesizer,
+    SynthesisOutcome,
+    synthesize_graph,
+)
+
+__all__ = [
+    "MetropolisHastings",
+    "IncrementalMetropolisHastings",
+    "MCMCResult",
+    "MCMCStepRecord",
+    "EdgeSwapWalk",
+    "RecordReplacementWalk",
+    "edge_swap_delta",
+    "MeasurementScore",
+    "ScoreTracker",
+    "DegreeSequenceMeasurements",
+    "SEED_EDGE_USES",
+    "measure_degree_statistics",
+    "build_seed_graph",
+    "seed_graph_from_edges",
+    "GraphSynthesizer",
+    "SynthesisOutcome",
+    "synthesize_graph",
+    "DEFAULT_POW",
+]

@@ -1,0 +1,23 @@
+"""Consistency post-processing of released measurements (Section 3.1)."""
+
+from .consistency import (
+    clamp_nonnegative,
+    consistent_triangle_total,
+    project_counts,
+    round_to_multiple,
+    symmetrize_pairs,
+)
+from .isotonic import isotonic_regression, project_to_degree_sequence
+from .pathfit import fit_degree_sequence, staircase_cost
+
+__all__ = [
+    "isotonic_regression",
+    "project_to_degree_sequence",
+    "fit_degree_sequence",
+    "staircase_cost",
+    "clamp_nonnegative",
+    "round_to_multiple",
+    "project_counts",
+    "symmetrize_pairs",
+    "consistent_triangle_total",
+]

@@ -1,0 +1,100 @@
+"""Simple consistency repairs for released measurements (Section 4, purpose 1).
+
+Laplace noise produces values that violate constraints the true statistic is
+known to satisfy: counts come back negative or fractional, the total triangle
+weight is not a multiple of the per-triangle contribution, a joint degree
+distribution is not symmetric.  Removing such "obvious inconsistencies" is
+pure post-processing — it touches only released values, so it costs no privacy
+budget — and is the first of the three benefits the paper lists for its
+inference workflow.  The heavyweight repair is MCMC (``repro.inference``);
+the helpers here are the cheap, direct projections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = [
+    "clamp_nonnegative",
+    "round_to_multiple",
+    "project_counts",
+    "symmetrize_pairs",
+    "consistent_triangle_total",
+]
+
+
+def clamp_nonnegative(values: Mapping[Any, float]) -> dict[Any, float]:
+    """Replace negative released values with zero.
+
+    True multiset counts are non-negative; the projection never increases the
+    L1 distance to the truth, so accuracy can only improve.
+    """
+    return {record: max(0.0, float(value)) for record, value in values.items()}
+
+
+def round_to_multiple(value: float, multiple: float = 1.0) -> float:
+    """Round a released value to the nearest non-negative multiple of ``multiple``.
+
+    The paper's example: a noisy triangle count should be a non-negative
+    multiple of one (or of six, when every triangle is observed six times by a
+    symmetric query).
+    """
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+    value = max(0.0, float(value))
+    return round(value / multiple) * multiple
+
+
+def project_counts(
+    values: Mapping[Any, float],
+    nonnegative: bool = True,
+    multiple: float | None = None,
+    drop_zeros: bool = False,
+) -> dict[Any, float]:
+    """Project released per-record counts onto their known constraint set.
+
+    ``nonnegative`` clamps below at zero, ``multiple`` snaps each value to the
+    nearest multiple (e.g. 1.0 for integer counts), and ``drop_zeros`` removes
+    records whose projected value is zero — convenient when the measurement
+    was materialised over a large domain that is mostly noise.
+    """
+    projected: dict[Any, float] = {}
+    for record, value in values.items():
+        value = float(value)
+        if nonnegative:
+            value = max(0.0, value)
+        if multiple is not None:
+            value = round_to_multiple(value, multiple)
+        if drop_zeros and value == 0.0:
+            continue
+        projected[record] = value
+    return projected
+
+
+def symmetrize_pairs(values: Mapping[Any, float]) -> dict[Any, float]:
+    """Average the released values of ``(a, b)`` and ``(b, a)``.
+
+    The true joint degree distribution is symmetric; averaging the two noisy
+    directed cells halves the noise variance on every pair.  Records that are
+    not 2-tuples are passed through unchanged.
+    """
+    symmetric: dict[Any, float] = {}
+    for record, value in values.items():
+        if isinstance(record, tuple) and len(record) == 2:
+            mirror = (record[1], record[0])
+            if mirror in values:
+                value = (float(value) + float(values[mirror])) / 2.0
+        symmetric[record] = float(value)
+    return symmetric
+
+
+def consistent_triangle_total(value: float, occurrences: float = 1.0) -> float:
+    """Repair a noisy triangle total: non-negative and a whole number of triangles.
+
+    ``occurrences`` is how many times the query observes each triangle (six
+    for the symmetric-rotation queries of Section 3.3); the released value is
+    divided by it, clamped at zero, and rounded to an integer count.
+    """
+    if occurrences <= 0:
+        raise ValueError("occurrences must be positive")
+    return round_to_multiple(float(value) / occurrences, 1.0)

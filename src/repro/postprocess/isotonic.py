@@ -1,0 +1,95 @@
+"""Isotonic regression (pool-adjacent-violators).
+
+Hay et al.'s degree-distribution technique releases a noisy monotone sequence
+and then projects it back onto the monotone cone, which removes most of the
+noise at small degrees.  The paper's Section 3.1 post-processing uses the same
+idea (before going further and jointly fitting the CCDF).  This module
+implements the classic PAVA algorithm for both non-increasing and
+non-decreasing targets, under squared error.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["isotonic_regression", "project_to_degree_sequence"]
+
+
+def isotonic_regression(
+    values: Sequence[float],
+    increasing: bool = False,
+    weights: Sequence[float] | None = None,
+) -> list[float]:
+    """Least-squares projection of ``values`` onto monotone sequences.
+
+    Parameters
+    ----------
+    values:
+        The (noisy) input sequence.
+    increasing:
+        If True fit a non-decreasing sequence; the default fits the
+        non-increasing sequences used for degree data in this library.
+    weights:
+        Optional positive weights for the squared-error terms.
+
+    Returns
+    -------
+    list of float
+        The fitted sequence, same length as the input.
+    """
+    y = np.asarray(list(values), dtype=float)
+    if y.size == 0:
+        return []
+    if weights is None:
+        w = np.ones_like(y)
+    else:
+        w = np.asarray(list(weights), dtype=float)
+        if w.shape != y.shape:
+            raise ValueError("weights must have the same length as values")
+        if np.any(w <= 0):
+            raise ValueError("weights must be positive")
+    if not increasing:
+        # Fit a non-increasing sequence by flipping, fitting non-decreasing,
+        # and flipping back.
+        return list(reversed(isotonic_regression(list(reversed(y)), increasing=True,
+                                                 weights=list(reversed(w)))))
+
+    # Pool adjacent violators for the non-decreasing case: maintain blocks of
+    # (weighted mean, total weight, length) and merge while the means violate
+    # monotonicity.
+    means: list[float] = []
+    totals: list[float] = []
+    lengths: list[int] = []
+    for value, weight in zip(y, w):
+        means.append(float(value))
+        totals.append(float(weight))
+        lengths.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            merged_weight = totals[-2] + totals[-1]
+            merged_mean = (means[-2] * totals[-2] + means[-1] * totals[-1]) / merged_weight
+            merged_length = lengths[-2] + lengths[-1]
+            for stack in (means, totals, lengths):
+                stack.pop()
+            means[-1] = merged_mean
+            totals[-1] = merged_weight
+            lengths[-1] = merged_length
+    fitted: list[float] = []
+    for mean, length in zip(means, lengths):
+        fitted.extend([mean] * length)
+    return fitted
+
+
+def project_to_degree_sequence(values: Sequence[float]) -> list[int]:
+    """Turn a noisy sequence into a usable non-increasing degree sequence.
+
+    Applies non-increasing isotonic regression, clips at zero, rounds to
+    integers and drops the trailing zeros (the noisy measurements continue
+    indefinitely with noise around zero; the analyst truncates them).
+    """
+    fitted = isotonic_regression(values, increasing=False)
+    degrees = [int(round(max(0.0, value))) for value in fitted]
+    while degrees and degrees[-1] == 0:
+        degrees.pop()
+    return degrees

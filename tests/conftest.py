@@ -1,0 +1,75 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import PrivacySession, WeightedDataset
+from repro.graph import Graph, erdos_renyi
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+def records():
+    """Small hashable records: ints and short strings."""
+    return st.one_of(st.integers(min_value=-5, max_value=15), st.sampled_from("abcdef"))
+
+
+def weights():
+    """Bounded non-negative weights (wPINQ datasets are non-negative)."""
+    return st.floats(
+        min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False
+    )
+
+
+def weighted_datasets(max_size: int = 8):
+    """Random small weighted datasets."""
+    return st.dictionaries(records(), weights(), max_size=max_size).map(WeightedDataset)
+
+
+# Make the strategies importable from test modules via the fixtures below.
+@pytest.fixture(scope="session")
+def dataset_strategy():
+    return weighted_datasets
+
+
+# ----------------------------------------------------------------------
+# Example datasets from the paper (Section 2.1)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def paper_dataset_a() -> WeightedDataset:
+    return WeightedDataset({"1": 0.75, "2": 2.0, "3": 1.0})
+
+
+@pytest.fixture()
+def paper_dataset_b() -> WeightedDataset:
+    return WeightedDataset({"1": 3.0, "4": 2.0})
+
+
+# ----------------------------------------------------------------------
+# Graph fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def triangle_graph() -> Graph:
+    """A single triangle."""
+    return Graph([(1, 2), (2, 3), (3, 1)])
+
+
+@pytest.fixture()
+def small_random_graph() -> Graph:
+    """A fixed small random graph with a few triangles and squares."""
+    return erdos_renyi(12, 25, rng=3)
+
+
+@pytest.fixture()
+def medium_random_graph() -> Graph:
+    """A slightly larger graph for integration-style tests."""
+    return erdos_renyi(40, 140, rng=9)
+
+
+@pytest.fixture()
+def session() -> PrivacySession:
+    """A seeded privacy session with deterministic noise."""
+    return PrivacySession(seed=123)

@@ -1,0 +1,152 @@
+"""Tests for NoisyCount and the other DP aggregations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LaplaceNoise,
+    WeightedDataset,
+    exponential_mechanism,
+    noisy_average,
+    noisy_sum,
+)
+from repro.core.aggregation import NoisyCountResult
+
+
+@pytest.fixture()
+def dataset():
+    return WeightedDataset({"1": 0.75, "2": 2.0, "3": 1.0})
+
+
+class TestNoisyCountResult:
+    def test_observed_records_cover_support(self, dataset):
+        result = NoisyCountResult(dataset, epsilon=1.0, noise=LaplaceNoise(0))
+        assert result.observed_records() >= {"1", "2", "3"}
+
+    def test_values_centre_on_true_weights(self, dataset):
+        # Average many independent measurements; the noise is zero-mean.
+        values = []
+        for seed in range(300):
+            result = NoisyCountResult(dataset, epsilon=2.0, noise=LaplaceNoise(seed))
+            values.append(result["2"])
+        assert np.mean(values) == pytest.approx(2.0, abs=0.15)
+
+    def test_unseen_record_gets_lazy_noise(self, dataset):
+        result = NoisyCountResult(dataset, epsilon=1.0, noise=LaplaceNoise(1))
+        assert "0" not in result
+        value = result["0"]
+        assert "0" in result
+        # The lazily drawn value is memoised: repeated queries agree.
+        assert result["0"] == value
+
+    def test_lazy_noise_is_zero_mean(self, dataset):
+        values = [
+            NoisyCountResult(dataset, epsilon=1.0, noise=LaplaceNoise(seed)).value("absent")
+            for seed in range(300)
+        ]
+        assert abs(np.mean(values)) < 0.25
+
+    def test_len_and_items(self, dataset):
+        result = NoisyCountResult(dataset, epsilon=1.0, noise=LaplaceNoise(2))
+        assert len(result) == 3
+        assert set(dict(result.items())) == {"1", "2", "3"}
+
+    def test_total_and_as_weighted_dataset(self, dataset):
+        result = NoisyCountResult(dataset, epsilon=1.0, noise=LaplaceNoise(3))
+        assert result.total() == pytest.approx(sum(v for _, v in result.items()))
+        assert isinstance(result.as_weighted_dataset(), WeightedDataset)
+
+    def test_l1_distance_to_candidate(self, dataset):
+        result = NoisyCountResult(dataset, epsilon=1.0, noise=LaplaceNoise(4))
+        candidate = WeightedDataset({"1": 1.0, "7": 2.0})
+        distance = result.l1_distance_to(candidate)
+        manual = (
+            abs(1.0 - result.value("1"))
+            + abs(2.0 - result.value("7"))
+            + abs(result.value("2"))
+            + abs(result.value("3"))
+        )
+        assert distance == pytest.approx(manual)
+
+    def test_l1_distance_to_exact_dataset_is_small_at_high_epsilon(self, dataset):
+        result = NoisyCountResult(dataset, epsilon=1e6, noise=LaplaceNoise(5))
+        assert result.l1_distance_to(dataset) < 1e-3
+
+    def test_repr_mentions_query_name(self, dataset):
+        result = NoisyCountResult(dataset, 0.5, noise=LaplaceNoise(0), query_name="demo")
+        assert "demo" in repr(result)
+
+    def test_invalid_epsilon_rejected(self, dataset):
+        from repro.exceptions import InvalidEpsilonError
+
+        with pytest.raises(InvalidEpsilonError):
+            NoisyCountResult(dataset, epsilon=-1.0)
+
+
+class TestNoisySum:
+    def test_unbiased(self, dataset):
+        values = [
+            noisy_sum(dataset, 5.0, lambda record: 1.0, noise=LaplaceNoise(seed))
+            for seed in range(300)
+        ]
+        assert np.mean(values) == pytest.approx(dataset.total_weight(), abs=0.1)
+
+    def test_value_selector_is_clamped(self):
+        dataset = WeightedDataset({"big": 1.0})
+        value = noisy_sum(dataset, 1e6, lambda record: 100.0, clamp=1.0, noise=LaplaceNoise(0))
+        assert value == pytest.approx(1.0, abs=1e-3)
+
+    def test_negative_values_clamped_symmetrically(self):
+        dataset = WeightedDataset({"big": 1.0})
+        value = noisy_sum(dataset, 1e6, lambda record: -100.0, clamp=2.0, noise=LaplaceNoise(0))
+        assert value == pytest.approx(-2.0, abs=1e-3)
+
+    def test_invalid_clamp_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            noisy_sum(dataset, 1.0, clamp=0.0)
+
+
+class TestNoisyAverage:
+    def test_reasonable_at_high_epsilon(self):
+        dataset = WeightedDataset({1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})
+        value = noisy_average(dataset, 1e6, lambda record: record / 4.0, noise=LaplaceNoise(0))
+        assert value == pytest.approx((1 + 2 + 3 + 4) / 16.0, abs=1e-3)
+
+    def test_denominator_never_zero(self):
+        empty = WeightedDataset.empty()
+        value = noisy_average(empty, 0.5, lambda record: 1.0, noise=LaplaceNoise(1))
+        assert np.isfinite(value)
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_scoring_candidates(self):
+        dataset = WeightedDataset({"x": 5.0})
+        candidates = ["good", "bad"]
+
+        def score(candidate, data):
+            return data["x"] if candidate == "good" else 0.0
+
+        picks = [
+            exponential_mechanism(dataset, candidates, score, epsilon=5.0, rng=seed)
+            for seed in range(50)
+        ]
+        assert picks.count("good") >= 45
+
+    def test_low_epsilon_is_near_uniform(self):
+        dataset = WeightedDataset({"x": 5.0})
+        candidates = ["good", "bad"]
+
+        def score(candidate, data):
+            return data["x"] if candidate == "good" else 0.0
+
+        picks = [
+            exponential_mechanism(dataset, candidates, score, epsilon=1e-6, rng=seed)
+            for seed in range(200)
+        ]
+        assert 60 <= picks.count("good") <= 140
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(WeightedDataset.empty(), [], lambda c, d: 0.0, 1.0)

@@ -1,0 +1,104 @@
+"""Tests for assortativity and degree-correlation post-processing of the JDD."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    assortativity_from_jdd,
+    estimate_assortativity,
+    measure_joint_degrees,
+    mean_neighbor_degree_by_degree,
+    protect_graph,
+)
+from repro.core import PrivacySession
+from repro.graph import Graph, erdos_renyi
+from repro.graph.statistics import assortativity, joint_degree_distribution
+
+
+def directed_jdd(graph: Graph) -> dict[tuple[int, int], float]:
+    """The exact directed JDD (both orientations of every edge)."""
+    degrees = graph.degrees()
+    counts: dict[tuple[int, int], float] = {}
+    for a, b in graph.edges():
+        for x, y in ((a, b), (b, a)):
+            pair = (degrees[x], degrees[y])
+            counts[pair] = counts.get(pair, 0.0) + 1.0
+    return counts
+
+
+class TestAssortativityFromJdd:
+    def test_matches_direct_computation_on_exact_counts(self):
+        graph = erdos_renyi(30, 80, rng=5)
+        expected = assortativity(graph)
+        assert assortativity_from_jdd(directed_jdd(graph)) == pytest.approx(expected, abs=1e-9)
+
+    def test_star_graph_is_maximally_disassortative(self):
+        star = Graph([(0, i) for i in range(1, 8)])
+        assert assortativity_from_jdd(directed_jdd(star)) == pytest.approx(-1.0)
+
+    def test_regular_graph_has_undefined_correlation(self, triangle_graph):
+        assert assortativity_from_jdd(directed_jdd(triangle_graph)) == 0.0
+
+    def test_empty_counts(self):
+        assert assortativity_from_jdd({}) == 0.0
+
+    def test_negative_counts_are_clamped(self):
+        counts = {(1, 5): 4.0, (5, 1): 4.0, (2, 2): -3.0}
+        with_noise = assortativity_from_jdd(counts)
+        without = assortativity_from_jdd({(1, 5): 4.0, (5, 1): 4.0})
+        assert with_noise == pytest.approx(without)
+
+    def test_all_negative_counts_return_zero(self):
+        assert assortativity_from_jdd({(1, 2): -1.0, (2, 1): -5.0}) == 0.0
+
+    def test_uniform_scaling_does_not_change_the_estimate(self):
+        graph = erdos_renyi(25, 60, rng=11)
+        counts = directed_jdd(graph)
+        doubled = {pair: 2.0 * value for pair, value in counts.items()}
+        assert assortativity_from_jdd(doubled) == pytest.approx(
+            assortativity_from_jdd(counts)
+        )
+
+
+class TestEstimateAssortativityFromMeasurement:
+    def test_estimate_tracks_truth_at_high_epsilon(self):
+        graph = erdos_renyi(40, 120, rng=2)
+        session = PrivacySession(seed=0)
+        edges = protect_graph(session, graph)
+        measurement = measure_joint_degrees(edges, epsilon=50.0)
+        estimate = estimate_assortativity(measurement)
+        assert estimate == pytest.approx(assortativity(graph), abs=0.15)
+
+    def test_estimate_costs_no_extra_budget(self):
+        graph = erdos_renyi(20, 40, rng=4)
+        session = PrivacySession(seed=1)
+        edges = protect_graph(session, graph)
+        measurement = measure_joint_degrees(edges, epsilon=0.5)
+        spent_before = session.spent_budget("edges")
+        estimate_assortativity(measurement)
+        assert session.spent_budget("edges") == spent_before
+
+
+class TestMeanNeighborDegree:
+    def test_exact_counts_give_exact_profile(self):
+        # A star: the hub (degree 4) only sees degree-1 neighbours and vice versa.
+        star = Graph([(0, i) for i in range(1, 5)])
+        profile = mean_neighbor_degree_by_degree(directed_jdd(star))
+        assert profile[4] == pytest.approx(1.0)
+        assert profile[1] == pytest.approx(4.0)
+
+    def test_matches_manual_average_on_a_path(self):
+        path = Graph([(1, 2), (2, 3), (3, 4)])
+        profile = mean_neighbor_degree_by_degree(directed_jdd(path))
+        # Degree-1 endpoints connect only to degree-2 vertices.
+        assert profile[1] == pytest.approx(2.0)
+        # Each degree-2 vertex has one degree-1 and one degree-2 neighbour.
+        assert profile[2] == pytest.approx(1.5)
+
+    def test_negative_counts_ignored(self):
+        profile = mean_neighbor_degree_by_degree({(3, 5): 2.0, (3, 100): -1.0})
+        assert profile == {3: pytest.approx(5.0)}
+
+    def test_empty_input(self):
+        assert mean_neighbor_degree_by_degree({}) == {}

@@ -1,0 +1,90 @@
+"""Tests for the wedge / closure-ratio measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    WEDGE_EDGE_USES,
+    closure_ratio,
+    measure_wedges,
+    protect_graph,
+    tbi_signal,
+    wedge_signal,
+    wedges_query,
+)
+from repro.core import PrivacySession
+from repro.graph import Graph, erdos_renyi, paper_graph_with_twin
+
+
+@pytest.fixture()
+def graph():
+    return erdos_renyi(20, 55, rng=29)
+
+
+@pytest.fixture()
+def protected(graph):
+    session = PrivacySession(seed=7)
+    return session, protect_graph(session, graph, total_epsilon=float("inf"))
+
+
+class TestWedges:
+    def test_wedge_signal_formula(self, graph):
+        expected = sum((d - 1) / 2.0 for d in graph.degrees().values() if d > 1)
+        assert wedge_signal(graph) == pytest.approx(expected)
+
+    def test_query_matches_signal(self, protected, graph):
+        _, edges = protected
+        exact = wedges_query(edges).evaluate_unprotected()
+        assert exact["wedge"] == pytest.approx(wedge_signal(graph))
+
+    def test_uses_edges_twice(self, protected):
+        _, edges = protected
+        assert wedges_query(edges).source_uses() == {"edges": WEDGE_EDGE_USES}
+
+    def test_star_graph_wedges(self):
+        star = Graph([(0, i) for i in range(1, 6)])
+        # Centre degree 5 contributes (5-1)/2 = 2; leaves contribute 0.
+        assert wedge_signal(star) == pytest.approx(2.0)
+
+    def test_measurement_cost(self, graph):
+        session = PrivacySession(seed=8)
+        edges = protect_graph(session, graph, total_epsilon=5.0)
+        measure_wedges(edges, 0.5)
+        assert session.spent_budget("edges") == pytest.approx(1.0)
+
+
+class TestClosureRatio:
+    def test_total_privacy_cost_is_six_epsilon(self, graph):
+        session = PrivacySession(seed=9)
+        edges = protect_graph(session, graph, total_epsilon=5.0)
+        closure_ratio(edges, 0.2)
+        assert session.spent_budget("edges") == pytest.approx(6 * 0.2)
+
+    def test_high_epsilon_ratio_matches_exact_signals(self, protected, graph):
+        _, edges = protected
+        ratio, triangles, wedges = closure_ratio(edges, 1e6)
+        assert triangles["triangle"] == pytest.approx(tbi_signal(graph), abs=1e-3)
+        assert wedges["wedge"] == pytest.approx(wedge_signal(graph), abs=1e-3)
+        assert ratio == pytest.approx(tbi_signal(graph) / wedge_signal(graph), abs=1e-6)
+
+    def test_triangle_rich_graph_scores_higher_than_its_twin(self):
+        graph, twin = paper_graph_with_twin("CA-GrQc", scale=0.05)
+        session_real = PrivacySession(seed=10)
+        session_twin = PrivacySession(seed=10)
+        real_ratio, _, _ = closure_ratio(
+            protect_graph(session_real, graph), epsilon=5.0
+        )
+        twin_ratio, _, _ = closure_ratio(
+            protect_graph(session_twin, twin), epsilon=5.0
+        )
+        assert real_ratio > twin_ratio
+
+    def test_ratio_zero_for_empty_graph(self):
+        session = PrivacySession(seed=11)
+        empty = Graph()
+        empty.add_node(1)
+        empty.add_node(2)
+        edges = protect_graph(session, empty)
+        ratio, _, _ = closure_ratio(edges, 1.0)
+        assert ratio >= 0.0

@@ -1,0 +1,136 @@
+"""Tests for the shared analysis helpers (edge protection, paths, degrees)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    length_two_paths,
+    node_degrees,
+    nodes_from_edges,
+    protect_graph,
+    reverse_edge,
+    rotate,
+    sorted_degrees,
+    symmetrize,
+)
+from repro.core import PrivacySession
+from repro.graph import Graph, erdos_renyi
+
+
+@pytest.fixture()
+def protected_triangle(session, triangle_graph):
+    return session, protect_graph(session, triangle_graph)
+
+
+class TestProtectGraph:
+    def test_symmetric_edge_records(self, protected_triangle):
+        _, edges = protected_triangle
+        exact = edges.evaluate_unprotected()
+        assert exact[(1, 2)] == 1.0
+        assert exact[(2, 1)] == 1.0
+        assert exact.total_weight() == pytest.approx(6.0)
+
+    def test_budget_registered(self, triangle_graph):
+        session = PrivacySession(seed=0)
+        edges = protect_graph(session, triangle_graph, total_epsilon=2.0)
+        assert session.remaining_budget("edges") == 2.0
+        edges.noisy_count(0.5)
+        assert session.remaining_budget("edges") == pytest.approx(1.5)
+
+    def test_custom_source_name(self, session, triangle_graph):
+        edges = protect_graph(session, triangle_graph, name="social")
+        assert edges.source_uses() == {"social": 1}
+
+
+class TestSmallHelpers:
+    def test_reverse_edge(self):
+        assert reverse_edge((1, 2)) == (2, 1)
+        assert reverse_edge(["a", "b"]) == ("b", "a")
+
+    def test_rotate(self):
+        assert rotate((1, 2, 3)) == (2, 3, 1)
+        assert rotate(rotate(rotate((1, 2, 3)))) == (1, 2, 3)
+        assert rotate((1, 2, 3, 4)) == (2, 3, 4, 1)
+
+    def test_sorted_degrees(self):
+        assert sorted_degrees((5, 1, 3)) == (1, 3, 5)
+
+    def test_symmetrize_doubles_source_uses(self, session):
+        one_way = session.protect("raw", [(1, 2), (2, 3)])
+        symmetric = symmetrize(one_way)
+        assert symmetric.source_uses() == {"raw": 2}
+        exact = symmetric.evaluate_unprotected()
+        assert exact[(1, 2)] == 1.0
+        assert exact[(2, 1)] == 1.0
+
+
+class TestNodeDegrees:
+    def test_weights_and_values(self, protected_triangle):
+        _, edges = protected_triangle
+        exact = node_degrees(edges).evaluate_unprotected()
+        for node in (1, 2, 3):
+            assert exact[(node, 2)] == pytest.approx(0.5)
+
+    def test_bucketing_changes_labels_not_weights(self, session):
+        graph = erdos_renyi(10, 20, rng=0)
+        edges = protect_graph(session, graph)
+        plain = node_degrees(edges).evaluate_unprotected()
+        bucketed = node_degrees(edges, bucket=3).evaluate_unprotected()
+        assert plain.total_weight() == pytest.approx(bucketed.total_weight())
+        degrees = graph.degrees()
+        for node, degree in degrees.items():
+            assert bucketed[(node, degree // 3)] == pytest.approx(0.5)
+
+    def test_bucket_validation(self, protected_triangle):
+        _, edges = protected_triangle
+        with pytest.raises(ValueError):
+            node_degrees(edges, bucket=0)
+
+
+class TestNodesFromEdges:
+    def test_each_node_half_weight(self, protected_triangle):
+        _, edges = protected_triangle
+        exact = nodes_from_edges(edges).evaluate_unprotected()
+        assert len(exact) == 3
+        for node in (1, 2, 3):
+            assert exact[node] == pytest.approx(0.5)
+
+    def test_uses_edges_once(self, protected_triangle):
+        _, edges = protected_triangle
+        assert nodes_from_edges(edges).source_uses() == {"edges": 1}
+
+    def test_star_graph(self, session):
+        graph = Graph([(0, i) for i in range(1, 6)])
+        edges = protect_graph(session, graph)
+        exact = nodes_from_edges(edges).evaluate_unprotected()
+        assert exact[0] == pytest.approx(0.5)
+        assert exact[3] == pytest.approx(0.5)
+
+
+class TestLengthTwoPaths:
+    def test_triangle_path_weights(self, protected_triangle):
+        _, edges = protected_triangle
+        exact = length_two_paths(edges).evaluate_unprotected()
+        # Six directed paths, each of weight 1/(2 * d_b) = 0.25.
+        assert len(exact) == 6
+        for _, weight in exact.items():
+            assert weight == pytest.approx(0.25)
+
+    def test_cycles_are_excluded(self, protected_triangle):
+        _, edges = protected_triangle
+        exact = length_two_paths(edges).evaluate_unprotected()
+        assert all(path[0] != path[2] for path in exact.records())
+
+    def test_weight_formula_on_random_graph(self, session):
+        graph = erdos_renyi(12, 30, rng=2)
+        degrees = graph.degrees()
+        edges = protect_graph(session, graph)
+        exact = length_two_paths(edges).evaluate_unprotected()
+        for (a, b, c), weight in exact.items():
+            assert graph.has_edge(a, b) and graph.has_edge(b, c)
+            assert weight == pytest.approx(1.0 / (2.0 * degrees[b]))
+
+    def test_uses_edges_twice(self, protected_triangle):
+        _, edges = protected_triangle
+        assert length_two_paths(edges).source_uses() == {"edges": 2}

@@ -1,0 +1,95 @@
+"""Tests for the degree CCDF / degree sequence / node count queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    degree_ccdf_query,
+    degree_sequence_query,
+    measure_degree_ccdf,
+    measure_degree_sequence,
+    measure_node_count,
+    node_count_query,
+    protect_graph,
+)
+from repro.core import PrivacySession
+from repro.graph import degree_ccdf, degree_sequence, erdos_renyi
+
+
+@pytest.fixture()
+def graph():
+    return erdos_renyi(25, 70, rng=7)
+
+
+@pytest.fixture()
+def protected(graph):
+    session = PrivacySession(seed=3)
+    return session, protect_graph(session, graph, total_epsilon=float("inf"))
+
+
+class TestDegreeCCDF:
+    def test_exact_weights_match_graph_ccdf(self, protected, graph):
+        _, edges = protected
+        exact = degree_ccdf_query(edges).evaluate_unprotected()
+        expected = degree_ccdf(graph)
+        for index, value in enumerate(expected):
+            assert exact[index] == pytest.approx(value)
+        assert len(exact) == len(expected)
+
+    def test_uses_edges_once(self, protected):
+        _, edges = protected
+        assert degree_ccdf_query(edges).source_uses() == {"edges": 1}
+
+    def test_measurement_charges_epsilon(self, graph):
+        session = PrivacySession(seed=1)
+        edges = protect_graph(session, graph, total_epsilon=1.0)
+        measure_degree_ccdf(edges, 0.25)
+        assert session.spent_budget("edges") == pytest.approx(0.25)
+
+    def test_measurement_is_noisy_but_centered(self, protected, graph):
+        _, edges = protected
+        measurement = measure_degree_ccdf(edges, 1e6)
+        assert measurement[0] == pytest.approx(degree_ccdf(graph)[0], abs=1e-3)
+
+
+class TestDegreeSequence:
+    def test_exact_weights_match_graph_sequence(self, protected, graph):
+        _, edges = protected
+        exact = degree_sequence_query(edges).evaluate_unprotected()
+        expected = degree_sequence(graph)
+        for rank, value in enumerate(expected):
+            assert exact[rank] == pytest.approx(value)
+
+    def test_sequence_is_nonincreasing(self, protected):
+        _, edges = protected
+        exact = degree_sequence_query(edges).evaluate_unprotected()
+        values = [exact[rank] for rank in range(len(exact))]
+        assert values == sorted(values, reverse=True)
+
+    def test_uses_edges_once(self, protected):
+        _, edges = protected
+        assert degree_sequence_query(edges).source_uses() == {"edges": 1}
+
+    def test_measure_returns_result_with_name(self, protected):
+        _, edges = protected
+        measurement = measure_degree_sequence(edges, 0.5)
+        assert measurement.query_name == "degree_sequence"
+
+
+class TestNodeCount:
+    def test_exact_half_count(self, protected, graph):
+        _, edges = protected
+        exact = node_count_query(edges).evaluate_unprotected()
+        assert exact["node"] == pytest.approx(graph.number_of_nodes() / 2.0)
+
+    def test_estimate_close_at_high_epsilon(self, protected, graph):
+        _, edges = protected
+        estimate = measure_node_count(edges, 1e6)
+        assert estimate == pytest.approx(graph.number_of_nodes(), abs=1e-2)
+
+    def test_charges_one_epsilon(self, graph):
+        session = PrivacySession(seed=5)
+        edges = protect_graph(session, graph, total_epsilon=1.0)
+        measure_node_count(edges, 0.3)
+        assert session.spent_budget("edges") == pytest.approx(0.3)

@@ -1,0 +1,112 @@
+"""Tests for the frequent-itemset analysis (the SelectMany showcase)."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.analyses import (
+    itemset_weight_contribution,
+    itemsets_query,
+    measure_itemsets,
+    protect_baskets,
+    top_itemsets,
+)
+from repro.core import PrivacySession
+
+
+BASKETS = [
+    ("bread", "butter"),
+    ("bread", "butter", "jam"),
+    ("bread", "milk"),
+    ("milk",),
+    ("bread", "butter", "milk", "eggs"),
+]
+
+
+@pytest.fixture()
+def protected():
+    session = PrivacySession(seed=0)
+    return session, protect_baskets(session, BASKETS, total_epsilon=float("inf"))
+
+
+class TestProtectBaskets:
+    def test_records_are_canonical_tuples(self, protected):
+        _, baskets = protected
+        exact = baskets.evaluate_unprotected()
+        assert exact[("bread", "butter")] == 1.0
+        assert exact[("bread", "butter", "jam")] == 1.0
+
+    def test_duplicate_items_within_basket_collapse(self):
+        session = PrivacySession(seed=1)
+        baskets = protect_baskets(session, [("a", "a", "b")])
+        assert baskets.evaluate_unprotected()[("a", "b")] == 1.0
+
+    def test_budget_registered(self):
+        session = PrivacySession(seed=2)
+        baskets = protect_baskets(session, BASKETS, total_epsilon=1.0)
+        baskets.noisy_count(0.25)
+        assert session.spent_budget("baskets") == pytest.approx(0.25)
+
+
+class TestItemsetWeights:
+    def test_contribution_formula(self):
+        assert itemset_weight_contribution(4, 2) == pytest.approx(1.0 / comb(4, 2))
+        assert itemset_weight_contribution(2, 2) == pytest.approx(1.0)
+        assert itemset_weight_contribution(1, 2) == 0.0
+
+    def test_pair_weights_accumulate_across_baskets(self, protected):
+        _, baskets = protected
+        pairs = itemsets_query(baskets, 2).evaluate_unprotected()
+        expected_bread_butter = (
+            itemset_weight_contribution(2, 2)   # (bread, butter)
+            + itemset_weight_contribution(3, 2)  # (bread, butter, jam)
+            + itemset_weight_contribution(4, 2)  # (bread, butter, milk, eggs)
+        )
+        assert pairs[("bread", "butter")] == pytest.approx(expected_bread_butter)
+
+    def test_singletons(self, protected):
+        _, baskets = protected
+        singles = itemsets_query(baskets, 1).evaluate_unprotected()
+        # "milk" appears alone (weight 1), with bread (1/2) and in the
+        # four-item basket (1/4).
+        assert singles[("milk",)] == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_basket_total_contribution_at_most_one(self, protected):
+        _, baskets = protected
+        pairs = itemsets_query(baskets, 2).evaluate_unprotected()
+        # Total output weight <= number of baskets with >= 2 items.
+        assert pairs.total_weight() <= 4.0 + 1e-9
+
+    def test_size_validation(self, protected):
+        _, baskets = protected
+        with pytest.raises(ValueError):
+            itemsets_query(baskets, 0)
+
+    def test_uses_baskets_once(self, protected):
+        _, baskets = protected
+        assert itemsets_query(baskets, 3).source_uses() == {"baskets": 1}
+
+
+class TestMeasurement:
+    def test_measurement_cost_independent_of_basket_size(self):
+        session = PrivacySession(seed=3)
+        huge_basket = [tuple(f"item{i}" for i in range(30))]
+        baskets = protect_baskets(session, BASKETS + huge_basket, total_epsilon=5.0)
+        measure_itemsets(baskets, 2, 0.5)
+        assert session.spent_budget("baskets") == pytest.approx(0.5)
+
+    def test_top_itemsets_orders_by_weight(self, protected):
+        _, baskets = protected
+        measurement = measure_itemsets(baskets, 2, 1e6)
+        ranked = top_itemsets(measurement, count=3)
+        assert len(ranked) == 3
+        assert ranked[0][1] >= ranked[1][1] >= ranked[2][1]
+        assert ranked[0][0] == ("bread", "butter")
+
+    def test_top_itemsets_validation(self, protected):
+        _, baskets = protected
+        measurement = measure_itemsets(baskets, 2, 1.0)
+        with pytest.raises(ValueError):
+            top_itemsets(measurement, count=-1)

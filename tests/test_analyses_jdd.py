@@ -1,0 +1,86 @@
+"""Tests for the joint degree distribution query (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    jdd_record_weight,
+    joint_degree_query,
+    measure_joint_degrees,
+    protect_graph,
+    rescale_jdd_measurement,
+)
+from repro.core import PrivacySession
+from repro.graph import erdos_renyi, joint_degree_distribution
+
+
+@pytest.fixture()
+def graph():
+    return erdos_renyi(18, 45, rng=11)
+
+
+@pytest.fixture()
+def protected(graph):
+    session = PrivacySession(seed=2)
+    return session, protect_graph(session, graph, total_epsilon=float("inf"))
+
+
+class TestJointDegreeQuery:
+    def test_record_weight_formula(self):
+        # Equation (3): weight = 1 / (2 + 2 d_a + 2 d_b).
+        assert jdd_record_weight(3, 5) == pytest.approx(1.0 / 18.0)
+        assert jdd_record_weight(0, 0) == pytest.approx(0.5)
+
+    def test_exact_weights_match_equation_3(self, protected, graph):
+        _, edges = protected
+        exact = joint_degree_query(edges).evaluate_unprotected()
+        degrees = graph.degrees()
+        expected: dict[tuple[int, int], float] = {}
+        for a, b in graph.edges():
+            for da, db in ((degrees[a], degrees[b]), (degrees[b], degrees[a])):
+                expected[(da, db)] = expected.get((da, db), 0.0) + jdd_record_weight(da, db)
+        assert len(exact) == len(expected)
+        for record, weight in expected.items():
+            assert exact[record] == pytest.approx(weight)
+
+    def test_uses_edges_four_times(self, protected):
+        _, edges = protected
+        assert joint_degree_query(edges).source_uses() == {"edges": 4}
+
+    def test_privacy_cost_is_four_epsilon(self, graph):
+        session = PrivacySession(seed=9)
+        edges = protect_graph(session, graph, total_epsilon=10.0)
+        measure_joint_degrees(edges, 0.5)
+        assert session.spent_budget("edges") == pytest.approx(2.0)
+
+    def test_symmetric_records(self, protected):
+        _, edges = protected
+        exact = joint_degree_query(edges).evaluate_unprotected()
+        for (da, db), weight in exact.items():
+            assert exact[(db, da)] == pytest.approx(weight)
+
+
+class TestRescaling:
+    def test_rescaled_values_estimate_directed_edge_counts(self, protected, graph):
+        _, edges = protected
+        measurement = measure_joint_degrees(edges, 1e5)
+        rescaled = rescale_jdd_measurement(measurement)
+        degrees = graph.degrees()
+        directed_counts: dict[tuple[int, int], int] = {}
+        for a, b in graph.edges():
+            for da, db in ((degrees[a], degrees[b]), (degrees[b], degrees[a])):
+                directed_counts[(da, db)] = directed_counts.get((da, db), 0) + 1
+        for record, count in directed_counts.items():
+            assert rescaled[record] == pytest.approx(count, abs=0.05)
+
+    def test_rescaled_undirected_totals_match_jdd(self, protected, graph):
+        _, edges = protected
+        measurement = measure_joint_degrees(edges, 1e5)
+        rescaled = rescale_jdd_measurement(measurement)
+        undirected: dict[tuple[int, int], float] = {}
+        for (da, db), value in rescaled.items():
+            key = (min(da, db), max(da, db))
+            undirected[key] = undirected.get(key, 0.0) + value / 2.0
+        for pair, count in joint_degree_distribution(graph).items():
+            assert undirected[pair] == pytest.approx(count, abs=0.1)

@@ -1,0 +1,115 @@
+"""Tests for the generic path / cycle motif machinery (Section 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    cycles_by_intersect_query,
+    edge_uses_for_cycles,
+    edge_uses_for_paths,
+    length_two_paths,
+    paths_query,
+    protect_graph,
+    tbi_signal,
+    triangles_by_intersect_query,
+)
+from repro.core import PrivacySession
+from repro.graph import Graph, erdos_renyi, square_count
+
+
+@pytest.fixture()
+def graph():
+    return erdos_renyi(12, 26, rng=23)
+
+
+@pytest.fixture()
+def protected(graph):
+    session = PrivacySession(seed=6)
+    return session, protect_graph(session, graph, total_epsilon=float("inf"))
+
+
+class TestPathsQuery:
+    def test_length_one_is_edges(self, protected):
+        _, edges = protected
+        assert paths_query(edges, 1) is edges
+
+    def test_length_two_matches_dedicated_helper(self, protected):
+        _, edges = protected
+        generic = paths_query(edges, 2).evaluate_unprotected()
+        dedicated = length_two_paths(edges).evaluate_unprotected()
+        assert generic.distance(dedicated) < 1e-9
+
+    def test_length_three_paths_exist_in_graph(self, protected, graph):
+        _, edges = protected
+        exact = paths_query(edges, 3).evaluate_unprotected()
+        assert len(exact) > 0
+        for path in exact.records():
+            assert len(path) == 4
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b)
+            # No immediate backtracking.
+            assert path[-1] != path[-3]
+
+    def test_validation(self, protected):
+        _, edges = protected
+        with pytest.raises(ValueError):
+            paths_query(edges, 0)
+
+    def test_source_uses_grow_linearly(self, protected):
+        _, edges = protected
+        for length in (1, 2, 3, 4):
+            assert paths_query(edges, length).source_uses() == {"edges": length}
+            assert edge_uses_for_paths(length) == length
+
+
+class TestCyclesByIntersect:
+    def test_three_cycles_match_tbi(self, protected):
+        _, edges = protected
+        generic = cycles_by_intersect_query(edges, 3).evaluate_unprotected()
+        tbi = triangles_by_intersect_query(edges).evaluate_unprotected()
+        assert generic["cycle-3"] == pytest.approx(tbi["triangle"])
+
+    def test_four_cycles_positive_iff_squares_exist(self, session):
+        square = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        edges = protect_graph(session, square)
+        result = cycles_by_intersect_query(edges, 4).evaluate_unprotected()
+        assert result["cycle-4"] > 0
+
+    def test_four_cycles_zero_for_tree(self):
+        session = PrivacySession(seed=1)
+        tree = Graph([(1, 2), (1, 3), (1, 4), (2, 5), (2, 6)])
+        edges = protect_graph(session, tree)
+        result = cycles_by_intersect_query(edges, 4).evaluate_unprotected()
+        assert result.is_empty()
+
+    def test_four_cycle_signal_tracks_square_count(self, session, graph):
+        edges = protect_graph(session, graph)
+        result = cycles_by_intersect_query(edges, 4).evaluate_unprotected()
+        if square_count(graph) == 0:
+            assert result.is_empty()
+        else:
+            assert result["cycle-4"] > 0
+
+    def test_validation(self, protected):
+        _, edges = protected
+        with pytest.raises(ValueError):
+            cycles_by_intersect_query(edges, 2)
+        with pytest.raises(ValueError):
+            edge_uses_for_cycles(2)
+
+    def test_source_uses(self, protected):
+        _, edges = protected
+        assert cycles_by_intersect_query(edges, 3).source_uses() == {"edges": 4}
+        assert cycles_by_intersect_query(edges, 4).source_uses() == {"edges": 6}
+        assert edge_uses_for_cycles(3) == 4
+        assert edge_uses_for_cycles(4) == 6
+
+    def test_tbi_signal_sanity(self, graph):
+        # The generic machinery and the dedicated signal helper must agree on
+        # what "no triangles" means.
+        assert (tbi_signal(graph) == 0.0) == (
+            cycles_by_intersect_query(
+                protect_graph(PrivacySession(seed=0), graph), 3
+            ).evaluate_unprotected().is_empty()
+        )

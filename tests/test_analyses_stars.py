@@ -1,0 +1,79 @@
+"""Tests for k-star counting via the degree-histogram query."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analyses import (
+    STAR_EDGE_USES,
+    protect_graph,
+    star_degree_query,
+    stars_from_degree_histogram,
+)
+from repro.core import PrivacySession
+from repro.graph import Graph, erdos_renyi
+
+
+def true_star_count(graph: Graph, k: int) -> int:
+    return sum(math.comb(degree, k) for degree in graph.degrees().values() if degree >= k)
+
+
+class TestStarDegreeQuery:
+    def test_exact_weights_are_half_the_degree_histogram(self, small_random_graph):
+        session = PrivacySession(seed=0)
+        edges = protect_graph(session, small_random_graph)
+        exact = star_degree_query(edges).evaluate_unprotected()
+        histogram: dict[int, int] = {}
+        for degree in small_random_graph.degrees().values():
+            histogram[degree] = histogram.get(degree, 0) + 1
+        assert set(exact.records()) == set(histogram)
+        for degree, count in histogram.items():
+            assert exact.weight(degree) == pytest.approx(count / 2.0)
+
+    def test_query_uses_edges_once(self, small_random_graph):
+        session = PrivacySession(seed=0)
+        edges = protect_graph(session, small_random_graph)
+        uses = star_degree_query(edges).source_uses()
+        assert uses == {"edges": STAR_EDGE_USES}
+
+    def test_measurement_cost(self, small_random_graph):
+        session = PrivacySession(seed=0)
+        edges = protect_graph(session, small_random_graph, total_epsilon=1.0)
+        star_degree_query(edges).noisy_count(0.25)
+        assert session.spent_budget("edges") == pytest.approx(0.25 * STAR_EDGE_USES)
+
+
+class TestStarsFromHistogram:
+    def test_exact_histogram_recovers_true_counts(self):
+        graph = erdos_renyi(25, 60, rng=1)
+        histogram: dict[int, float] = {}
+        for degree in graph.degrees().values():
+            histogram[degree] = histogram.get(degree, 0.0) + 1.0
+        for k in (1, 2, 3):
+            assert stars_from_degree_histogram(histogram, k) == true_star_count(graph, k)
+
+    def test_one_stars_count_edge_endpoints(self):
+        graph = Graph([(1, 2), (2, 3)])
+        histogram = {1: 2.0, 2: 1.0}
+        # 1-stars = sum of degrees = 2 * edges.
+        assert stars_from_degree_histogram(histogram, 1) == 4
+
+    def test_measurement_input_undoes_half_weights(self, small_random_graph):
+        session = PrivacySession(seed=3)
+        edges = protect_graph(session, small_random_graph)
+        measurement = star_degree_query(edges).noisy_count(100.0)
+        estimate = stars_from_degree_histogram(measurement, 2)
+        assert estimate == pytest.approx(true_star_count(small_random_graph, 2), rel=0.15)
+
+    def test_negative_noise_cells_are_clamped(self):
+        histogram = {3: 5.0, 40: -2.0}
+        assert stars_from_degree_histogram(histogram, 2) == 5.0 * math.comb(3, 2)
+
+    def test_degrees_below_k_contribute_nothing(self):
+        assert stars_from_degree_histogram({1: 10.0, 2: 10.0}, 3) == 0.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            stars_from_degree_histogram({3: 1.0}, 0)

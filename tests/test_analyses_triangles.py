@@ -1,0 +1,185 @@
+"""Tests for the TbD and TbI triangle queries (Sections 3.3 and 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyses import (
+    TBD_EDGE_USES,
+    TBI_EDGE_USES,
+    measure_triangles_by_degree,
+    measure_triangles_by_intersect,
+    protect_graph,
+    rescale_tbd_measurement,
+    tbd_record_weight,
+    tbi_signal,
+    theorem2_mechanism,
+    triangles_by_degree_query,
+    triangles_by_intersect_query,
+)
+from repro.core import LaplaceNoise, PrivacySession
+from repro.graph import (
+    Graph,
+    erdos_renyi,
+    iter_triangles,
+    triangle_count,
+    triangles_by_degree,
+)
+
+
+@pytest.fixture()
+def graph():
+    return erdos_renyi(14, 35, rng=13)
+
+
+@pytest.fixture()
+def protected(graph):
+    session = PrivacySession(seed=4)
+    return session, protect_graph(session, graph, total_epsilon=float("inf"))
+
+
+class TestTrianglesByDegree:
+    def test_record_weight_formula(self):
+        # Equation (4) summed over the six path discoveries of one triangle.
+        assert tbd_record_weight(2, 2, 2) == pytest.approx(3.0 / 12.0)
+        assert tbd_record_weight(1, 2, 3) == pytest.approx(3.0 / 14.0)
+
+    def test_exact_weights_match_theorem2_accounting(self, protected, graph):
+        _, edges = protected
+        exact = triangles_by_degree_query(edges).evaluate_unprotected()
+        expected = {
+            triple: count * tbd_record_weight(*triple)
+            for triple, count in triangles_by_degree(graph).items()
+        }
+        assert len(exact) == len(expected)
+        for triple, weight in expected.items():
+            assert exact[triple] == pytest.approx(weight)
+
+    def test_triangle_graph(self, session, triangle_graph):
+        edges = protect_graph(session, triangle_graph)
+        exact = triangles_by_degree_query(edges).evaluate_unprotected()
+        assert exact.to_dict() == pytest.approx({(2, 2, 2): 0.25})
+
+    def test_triangle_free_graph_has_empty_output(self, session):
+        square = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        edges = protect_graph(session, square)
+        assert triangles_by_degree_query(edges).evaluate_unprotected().is_empty()
+
+    def test_uses_edges_nine_times(self, protected):
+        _, edges = protected
+        assert triangles_by_degree_query(edges).source_uses() == {"edges": TBD_EDGE_USES}
+
+    def test_privacy_cost(self, graph):
+        session = PrivacySession(seed=7)
+        edges = protect_graph(session, graph, total_epsilon=10.0)
+        measure_triangles_by_degree(edges, 0.1)
+        assert session.spent_budget("edges") == pytest.approx(0.9)
+
+    def test_bucketing_groups_triples(self, protected, graph):
+        _, edges = protected
+        bucketed = triangles_by_degree_query(edges, bucket=4).evaluate_unprotected()
+        plain = triangles_by_degree_query(edges).evaluate_unprotected()
+        # Total weight is preserved, records are coarser.
+        assert bucketed.total_weight() == pytest.approx(plain.total_weight())
+        assert len(bucketed) <= len(plain)
+        assert all(max(triple) <= graph.max_degree() // 4 for triple in bucketed.records())
+
+    def test_rescaling_recovers_counts_at_high_epsilon(self, protected, graph):
+        _, edges = protected
+        measurement = measure_triangles_by_degree(edges, 1e6)
+        estimates = rescale_tbd_measurement(measurement)
+        for triple, count in triangles_by_degree(graph).items():
+            assert estimates[triple] == pytest.approx(count, abs=1e-2)
+
+    def test_rescaling_with_bucketing_returns_raw_weights(self, protected):
+        _, edges = protected
+        measurement = measure_triangles_by_degree(edges, 1e6, bucket=3)
+        assert rescale_tbd_measurement(measurement, bucket=3) == measurement.to_dict()
+
+
+class TestTheorem2Mechanism:
+    def test_released_counts_centre_on_truth(self, graph):
+        exact = triangles_by_degree(graph)
+        # Use the lowest-degree observed triple, where Theorem 2's noise scale
+        # is smallest, and average many runs: the mechanism is unbiased.
+        triple = min(exact, key=lambda t: sum(d * d for d in t))
+        epsilon = 100.0
+        values = [
+            theorem2_mechanism(graph, epsilon, noise=LaplaceNoise(seed))[triple]
+            for seed in range(200)
+        ]
+        scale = 6.0 * sum(d * d for d in triple) / epsilon
+        standard_error = scale * (2 ** 0.5) / (200 ** 0.5)
+        assert np.mean(values) == pytest.approx(exact[triple], abs=6 * standard_error + 0.1)
+
+    def test_noise_grows_with_degrees(self, triangle_graph):
+        # Empirically, the released value for a low-degree triple (all degrees
+        # 2) has a much smaller spread than for a high-degree triple at the
+        # same epsilon; build a star-of-triangles graph to get the latter.
+        hub_graph = Graph([(0, i) for i in range(1, 9)])
+        hub_graph.add_edge(1, 2)  # triangle with degrees (8, 2, 2) around the hub
+        low_values, high_values = [], []
+        for seed in range(100):
+            low_values.append(theorem2_mechanism(triangle_graph, 1.0, noise=LaplaceNoise(seed))[(2, 2, 2)])
+            high = theorem2_mechanism(hub_graph, 1.0, noise=LaplaceNoise(seed))
+            high_values.append(high[(2, 2, 8)])
+        assert np.std(high_values) > 2.0 * np.std(low_values)
+
+    def test_covers_all_observed_triples(self, graph):
+        released = theorem2_mechanism(graph, 1.0, noise=LaplaceNoise(0))
+        assert set(released) == set(triangles_by_degree(graph))
+
+
+class TestTrianglesByIntersect:
+    def test_single_record_output(self, protected):
+        _, edges = protected
+        exact = triangles_by_intersect_query(edges).evaluate_unprotected()
+        assert set(exact.records()) <= {"triangle"}
+
+    def test_weight_matches_equation_8(self, protected, graph):
+        _, edges = protected
+        exact = triangles_by_intersect_query(edges).evaluate_unprotected()
+        assert exact["triangle"] == pytest.approx(tbi_signal(graph))
+
+    def test_tbi_signal_triangle(self, triangle_graph):
+        # One triangle with all degrees 2: 3 * min-terms of 1/2 each = 1.5.
+        assert tbi_signal(triangle_graph) == pytest.approx(1.5)
+
+    def test_tbi_signal_zero_for_triangle_free_graph(self):
+        assert tbi_signal(Graph([(1, 2), (2, 3), (3, 4), (4, 1)])) == 0.0
+
+    def test_signal_formula_matches_direct_enumeration(self, graph):
+        degrees = graph.degrees()
+        expected = 0.0
+        for a, b, c in iter_triangles(graph):
+            da, db, dc = degrees[a], degrees[b], degrees[c]
+            expected += (
+                min(1.0 / da, 1.0 / db) + min(1.0 / da, 1.0 / dc) + min(1.0 / db, 1.0 / dc)
+            )
+        assert tbi_signal(graph) == pytest.approx(expected)
+
+    def test_uses_edges_four_times(self, protected):
+        _, edges = protected
+        assert triangles_by_intersect_query(edges).source_uses() == {"edges": TBI_EDGE_USES}
+
+    def test_privacy_cost_lower_than_tbd(self, graph):
+        session = PrivacySession(seed=8)
+        edges = protect_graph(session, graph, total_epsilon=10.0)
+        measure_triangles_by_intersect(edges, 0.1)
+        spent_tbi = session.spent_budget("edges")
+        measure_triangles_by_degree(edges, 0.1)
+        spent_tbd = session.spent_budget("edges") - spent_tbi
+        assert spent_tbi == pytest.approx(0.4)
+        assert spent_tbd == pytest.approx(0.9)
+
+    def test_measurement_tracks_signal_at_high_epsilon(self, protected, graph):
+        _, edges = protected
+        measurement = measure_triangles_by_intersect(edges, 1e6)
+        assert measurement["triangle"] == pytest.approx(tbi_signal(graph), abs=1e-3)
+
+    def test_signal_distinguishes_real_from_random(self):
+        from repro.graph import paper_graph_with_twin
+
+        graph, twin = paper_graph_with_twin("CA-GrQc", scale=0.05)
+        assert tbi_signal(graph) > 2.0 * tbi_signal(twin)

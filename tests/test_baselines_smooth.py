@@ -1,0 +1,152 @@
+"""Tests for the smooth-sensitivity triangle-counting baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    figure1_best_case_graph,
+    figure1_union_graph,
+    figure1_worst_case_graph,
+    local_sensitivity_triangles,
+    max_common_neighbors,
+    smooth_sensitivity_triangle_count,
+    smooth_sensitivity_triangles,
+)
+from repro.core import LaplaceNoise
+from repro.exceptions import GraphError
+from repro.graph import Graph
+from repro.graph.statistics import triangle_count
+
+
+class TestLocalSensitivity:
+    def test_single_triangle(self, triangle_graph):
+        # Every pair of triangle vertices has exactly one common neighbour.
+        assert local_sensitivity_triangles(triangle_graph) == 1
+
+    def test_empty_graph(self):
+        assert local_sensitivity_triangles(Graph()) == 0
+
+    def test_path_graph_has_unit_sensitivity(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4)])
+        # Vertices 1 and 3 share the neighbour 2 (likewise 2 and 4 share 3).
+        assert local_sensitivity_triangles(graph) == 1
+
+    def test_worst_case_graph_sensitivity_is_nodes_minus_two(self):
+        nodes = 30
+        graph = figure1_worst_case_graph(nodes)
+        # Vertices 1 and 2 share every other vertex as a neighbour.
+        assert local_sensitivity_triangles(graph) == nodes - 2
+
+    def test_best_case_graph_sensitivity_is_constant(self):
+        graph = figure1_best_case_graph(60)
+        assert local_sensitivity_triangles(graph) <= 4
+
+    def test_max_common_neighbors_counts_wedges_not_edges(self):
+        # A star: all leaf pairs share the centre, no pair shares more.
+        graph = Graph([(0, i) for i in range(1, 6)])
+        assert max_common_neighbors(graph) == 1
+
+
+class TestSmoothSensitivity:
+    def test_at_least_local_sensitivity(self):
+        graph = figure1_best_case_graph(40)
+        beta = 0.05
+        assert smooth_sensitivity_triangles(graph, beta) >= local_sensitivity_triangles(graph)
+
+    def test_at_most_worst_case(self):
+        graph = figure1_best_case_graph(40)
+        assert smooth_sensitivity_triangles(graph, 0.05) <= graph.number_of_nodes() - 2
+
+    def test_large_beta_approaches_local_sensitivity(self):
+        graph = figure1_best_case_graph(60)
+        local = local_sensitivity_triangles(graph)
+        assert smooth_sensitivity_triangles(graph, beta=5.0) == pytest.approx(local, rel=0.5)
+
+    def test_small_beta_approaches_worst_case(self):
+        graph = figure1_best_case_graph(60)
+        ceiling = graph.number_of_nodes() - 2
+        assert smooth_sensitivity_triangles(graph, beta=1e-6) == pytest.approx(
+            ceiling, rel=0.01
+        )
+
+    def test_monotone_in_beta(self):
+        graph = figure1_best_case_graph(60)
+        values = [smooth_sensitivity_triangles(graph, beta) for beta in (0.01, 0.05, 0.2, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_worst_case_graph_stays_at_ceiling(self):
+        nodes = 40
+        graph = figure1_worst_case_graph(nodes)
+        assert smooth_sensitivity_triangles(graph, beta=0.1) == nodes - 2
+
+    def test_union_graph_inherits_worst_case_structure(self):
+        union = figure1_union_graph(80)
+        benign = figure1_best_case_graph(40)
+        beta = 0.1
+        assert smooth_sensitivity_triangles(union, beta) > 5 * smooth_sensitivity_triangles(
+            benign, beta
+        )
+
+    def test_beta_must_be_positive(self, triangle_graph):
+        with pytest.raises(ValueError):
+            smooth_sensitivity_triangles(triangle_graph, beta=0.0)
+
+
+class TestSmoothMechanism:
+    def test_released_value_is_count_plus_bounded_noise(self):
+        graph = figure1_best_case_graph(60)
+        noise = LaplaceNoise(0)
+        released, scale = smooth_sensitivity_triangle_count(graph, epsilon=1.0, noise=noise)
+        assert scale > 0
+        # With overwhelming probability (and this fixed seed) the error is a
+        # small multiple of the scale.
+        assert abs(released - triangle_count(graph)) < 20 * scale
+
+    def test_scale_formula(self):
+        graph = figure1_best_case_graph(40)
+        epsilon, delta = 0.5, 0.01
+        _, scale = smooth_sensitivity_triangle_count(graph, epsilon, delta=delta, noise=LaplaceNoise(1))
+        beta = epsilon / (2.0 * math.log(2.0 / delta))
+        assert scale == pytest.approx(2.0 * smooth_sensitivity_triangles(graph, beta) / epsilon)
+
+    def test_delta_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            smooth_sensitivity_triangle_count(triangle_graph, 1.0, delta=0.0)
+        with pytest.raises(ValueError):
+            smooth_sensitivity_triangle_count(triangle_graph, 1.0, delta=1.5)
+
+    def test_epsilon_validation(self, triangle_graph):
+        from repro.exceptions import InvalidEpsilonError
+
+        with pytest.raises(InvalidEpsilonError):
+            smooth_sensitivity_triangle_count(triangle_graph, epsilon=-1.0)
+
+    def test_smooth_beats_worst_case_on_benign_graph(self):
+        graph = figure1_best_case_graph(400)
+        _, scale = smooth_sensitivity_triangle_count(
+            graph, epsilon=0.5, delta=0.01, noise=LaplaceNoise(2)
+        )
+        worst_scale = (graph.number_of_nodes() - 2) / 0.5
+        assert scale < worst_scale / 3.0
+
+
+class TestUnionGraph:
+    def test_halves_are_disjoint(self):
+        union = figure1_union_graph(60)
+        left_nodes = {node for node in union.nodes() if node[0] == "L"}
+        right_nodes = {node for node in union.nodes() if node[0] == "R"}
+        assert left_nodes and right_nodes
+        for a, b in union.edges():
+            assert a[0] == b[0]
+
+    def test_triangles_all_come_from_the_right_half(self):
+        union = figure1_union_graph(60)
+        right = figure1_best_case_graph(30)
+        assert triangle_count(union) == triangle_count(right)
+
+    def test_requires_enough_nodes(self):
+        with pytest.raises(GraphError):
+            figure1_union_graph(4)

@@ -1,0 +1,113 @@
+"""Tests for privacy budget accounting and sequential composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BudgetLedger, PrivacyBudget
+from repro.exceptions import BudgetExceededError, InvalidEpsilonError
+
+
+class TestPrivacyBudget:
+    def test_charging_accumulates(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.25)
+        budget.charge(0.5)
+        assert budget.spent == pytest.approx(0.75)
+        assert budget.remaining == pytest.approx(0.25)
+
+    def test_exceeding_raises_and_charges_nothing(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.9)
+        with pytest.raises(BudgetExceededError):
+            budget.charge(0.2)
+        assert budget.spent == pytest.approx(0.9)
+
+    def test_exact_exhaustion_is_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.5)
+        budget.charge(0.5)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_many_small_charges_hit_the_total(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(10):
+            budget.charge(0.1)
+        assert budget.spent == pytest.approx(1.0)
+        with pytest.raises(BudgetExceededError):
+            budget.charge(0.1)
+
+    def test_infinite_budget_never_exhausts(self):
+        budget = PrivacyBudget(float("inf"))
+        budget.charge(1e6)
+        assert budget.remaining == float("inf")
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(InvalidEpsilonError):
+            PrivacyBudget(0.0)
+        with pytest.raises(InvalidEpsilonError):
+            PrivacyBudget(-1.0)
+
+    def test_invalid_charge_rejected(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(InvalidEpsilonError):
+            budget.charge(-0.1)
+
+    def test_history_records_descriptions(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.3, "degree sequence")
+        budget.charge(0.2, "triangles")
+        assert budget.history() == [(0.3, "degree sequence"), (0.2, "triangles")]
+
+    def test_can_afford(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.can_afford(1.0)
+        budget.charge(0.7)
+        assert budget.can_afford(0.3)
+        assert not budget.can_afford(0.4)
+
+
+class TestBudgetLedger:
+    def test_register_and_charge(self):
+        ledger = BudgetLedger()
+        ledger.register("edges", 2.0)
+        ledger.charge({"edges": 0.5}, "test")
+        assert ledger.spent("edges") == pytest.approx(0.5)
+        assert ledger.remaining("edges") == pytest.approx(1.5)
+
+    def test_register_is_idempotent(self):
+        ledger = BudgetLedger()
+        first = ledger.register("edges", 2.0)
+        second = ledger.register("edges", 5.0)
+        assert first is second
+        assert ledger.budget_for("edges").total == 2.0
+
+    def test_atomic_charge_across_sources(self):
+        ledger = BudgetLedger()
+        ledger.register("a", 1.0)
+        ledger.register("b", 0.1)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge({"a": 0.5, "b": 0.5})
+        # Neither source was charged.
+        assert ledger.spent("a") == 0.0
+        assert ledger.spent("b") == 0.0
+
+    def test_unknown_source_rejected(self):
+        ledger = BudgetLedger()
+        with pytest.raises(InvalidEpsilonError):
+            ledger.charge({"missing": 0.1})
+
+    def test_report_lists_all_sources(self):
+        ledger = BudgetLedger()
+        ledger.register("edges", 1.0)
+        ledger.register("profiles", 2.0)
+        ledger.charge({"edges": 0.25})
+        report = ledger.report()
+        assert report["edges"]["spent"] == pytest.approx(0.25)
+        assert report["profiles"]["remaining"] == pytest.approx(2.0)
+
+    def test_error_message_names_source(self):
+        ledger = BudgetLedger()
+        ledger.register("edges", 0.1)
+        with pytest.raises(BudgetExceededError, match="edges"):
+            ledger.charge({"edges": 1.0})

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_registered_experiment_is_a_choice(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_list_and_all_are_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).experiment == "list"
+        assert parser.parse_args(["all"]).experiment == "all"
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure99"])
+
+    def test_option_parsing(self):
+        args = build_parser().parse_args(
+            ["table1", "--scale", "0.5", "--steps", "2", "--epsilon", "0.3", "--pow", "99", "--seed", "7"]
+        )
+        assert args.scale == 0.5
+        assert args.steps == 2.0
+        assert args.epsilon == 0.3
+        assert args.pow_ == 99.0
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name, (description, _) in EXPERIMENTS.items():
+            assert name in output
+            assert description in output
+
+    def test_table3_runs_quickly_and_prints_table(self, capsys):
+        exit_code = main(["table3", "--scale", "0.2", "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+        assert "beta" in output
+
+    def test_figure1_with_overrides(self, capsys):
+        exit_code = main(["figure1", "--epsilon", "0.5", "--seed", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "weighted records" in output
+
+    def test_degree_ablation_runs(self, capsys):
+        exit_code = main(["degree-ablation", "--scale", "0.5", "--epsilon", "0.5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "degree sequence accuracy" in output
+
+    def test_smooth_ablation_runs(self, capsys):
+        exit_code = main(["smooth-ablation", "--scale", "0.5", "--seed", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "smooth sensitivity" in output
+        assert "weighted records" in output
+
+    def test_every_experiment_has_description_and_runner(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert isinstance(description, str) and description
+            assert callable(runner)

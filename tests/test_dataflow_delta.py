@@ -1,0 +1,59 @@
+"""Tests for delta helpers used by the incremental engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import WeightedDataset
+from repro.dataflow import accumulate, apply_delta, delta_from_dataset, negate, prune
+
+
+class TestDeltaHelpers:
+    def test_delta_from_dataset(self):
+        dataset = WeightedDataset({"a": 1.0, "b": -0.5})
+        assert delta_from_dataset(dataset) == {"a": 1.0, "b": -0.5}
+
+    def test_accumulate_from_mapping(self):
+        target = {"a": 1.0}
+        accumulate(target, {"a": 0.5, "b": 2.0})
+        assert target == {"a": 1.5, "b": 2.0}
+
+    def test_accumulate_from_pairs(self):
+        target = {}
+        accumulate(target, [("a", 1.0), ("a", 1.0)])
+        assert target == {"a": 2.0}
+
+    def test_accumulate_returns_target(self):
+        target = {}
+        assert accumulate(target, {"x": 1.0}) is target
+
+    def test_negate(self):
+        assert negate({"a": 1.0, "b": -2.0}) == {"a": -1.0, "b": 2.0}
+
+    def test_prune_removes_dust(self):
+        delta = {"a": 1e-15, "b": 1.0, "c": -1e-14}
+        prune(delta)
+        assert delta == {"b": 1.0}
+
+    def test_prune_custom_tolerance(self):
+        delta = {"a": 0.05, "b": 1.0}
+        prune(delta, tolerance=0.1)
+        assert delta == {"b": 1.0}
+
+    def test_apply_delta_adds_and_removes(self):
+        weights = {"a": 1.0}
+        apply_delta(weights, {"a": -1.0, "b": 2.0})
+        assert weights == {"b": 2.0}
+
+    def test_apply_delta_keeps_nonzero(self):
+        weights = {"a": 1.0}
+        apply_delta(weights, {"a": 0.5})
+        assert weights == {"a": 1.5}
+
+    def test_apply_then_negate_roundtrips(self):
+        weights = {"a": 1.0, "b": 2.0}
+        original = dict(weights)
+        delta = {"a": -1.0, "c": 3.0}
+        apply_delta(weights, delta)
+        apply_delta(weights, negate(delta))
+        assert weights == pytest.approx(original)

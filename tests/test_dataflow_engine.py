@@ -1,0 +1,218 @@
+"""Engine-level tests: compilation, initialization, and eager/incremental
+agreement on whole query plans (including the paper's graph queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyses import (
+    joint_degree_query,
+    protect_graph,
+    triangles_by_degree_query,
+    triangles_by_intersect_query,
+)
+from repro.core import PrivacySession, WeightedDataset
+from repro.dataflow import DataflowEngine
+from repro.exceptions import DataflowError
+from repro.graph import Graph, erdos_renyi
+
+
+@pytest.fixture()
+def simple_query():
+    session = PrivacySession(seed=0)
+    data = session.protect("numbers", list(range(6)))
+    query = (
+        data.select(lambda x: x % 3)
+        .where(lambda x: x != 1)
+        .select_many(lambda x: [f"{x}-a", f"{x}-b"])
+    )
+    return session, data, query
+
+
+class TestCompilationAndLifecycle:
+    def test_source_names(self, simple_query):
+        _, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        assert engine.source_names() == {"numbers"}
+
+    def test_output_matches_eager_after_initialize(self, simple_query):
+        session, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        assert engine.output(query.plan).distance(query.evaluate_unprotected()) < 1e-9
+
+    def test_add_plan_after_initialize_rejected(self, simple_query):
+        session, data, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        with pytest.raises(DataflowError):
+            engine.add_plan(data.select(lambda x: x).plan)
+
+    def test_double_initialize_rejected(self, simple_query):
+        session, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        with pytest.raises(DataflowError):
+            engine.initialize(session.environment())
+
+    def test_push_before_initialize_rejected(self, simple_query):
+        _, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        with pytest.raises(DataflowError):
+            engine.push("numbers", {1: 1.0})
+
+    def test_push_unknown_source_rejected(self, simple_query):
+        session, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        with pytest.raises(DataflowError):
+            engine.push("other", {1: 1.0})
+
+    def test_unregistered_plan_output_rejected(self, simple_query):
+        session, data, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        with pytest.raises(DataflowError):
+            engine.output(data.plan)
+
+    def test_add_plan_is_idempotent(self, simple_query):
+        _, _, query = simple_query
+        engine = DataflowEngine()
+        first = engine.add_plan(query.plan)
+        second = engine.add_plan(query.plan)
+        assert first is second
+
+    def test_missing_source_starts_empty(self, simple_query):
+        _, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize({})
+        assert engine.output(query.plan).is_empty()
+
+    def test_source_dataset_accessor(self, simple_query):
+        session, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        assert engine.source_dataset("numbers").total_weight() == pytest.approx(6.0)
+        with pytest.raises(DataflowError):
+            engine.source_dataset("nope")
+
+    def test_state_entry_count_positive(self, simple_query):
+        session, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        assert engine.state_entry_count() > 0
+        assert engine.node_count() >= 4
+
+
+class TestIncrementalConsistency:
+    def test_simple_pipeline_tracks_random_updates(self, simple_query):
+        session, _, query = simple_query
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        rng = np.random.default_rng(0)
+        current = session.environment()["numbers"].to_dict()
+        for _ in range(30):
+            record = int(rng.integers(0, 8))
+            change = float(rng.normal())
+            engine.push("numbers", {record: change})
+            current[record] = current.get(record, 0.0) + change
+            expected = query.plan.evaluate({"numbers": WeightedDataset(current)})
+            assert engine.output(query.plan).distance(expected) < 1e-6
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.floats(-2, 2, allow_nan=False)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_groupby_join_pipeline_matches_eager_under_arbitrary_deltas(self, updates):
+        session = PrivacySession(seed=1)
+        base = session.protect("rows", [0, 1, 2, 3])
+        grouped = base.group_by(lambda x: x % 2, reducer=len)
+        joined = grouped.join(base, lambda g: g[0], lambda x: x % 2)
+        engine = DataflowEngine.from_plans([joined.plan])
+        engine.initialize(session.environment())
+        current = session.environment()["rows"].to_dict()
+        for record, change in updates:
+            engine.push("rows", {record: change})
+            current[record] = current.get(record, 0.0) + change
+        expected = joined.plan.evaluate({"rows": WeightedDataset(current)})
+        assert engine.output(joined.plan).distance(expected) < 1e-6
+
+    def test_multiple_plans_share_nodes(self):
+        session = PrivacySession(seed=2)
+        base = session.protect("rows", [1, 2, 3])
+        selected = base.select(lambda x: x * 2)
+        filtered = selected.where(lambda x: x > 2)
+        engine = DataflowEngine()
+        engine.add_plan(selected.plan)
+        engine.add_plan(filtered.plan)
+        nodes_before = engine.node_count()
+        # Re-adding a plan containing the shared sub-plan must not grow the graph.
+        engine.add_plan(filtered.plan)
+        assert engine.node_count() == nodes_before
+        engine.initialize(session.environment())
+        assert engine.output(selected.plan).distance(selected.evaluate_unprotected()) < 1e-9
+        assert engine.output(filtered.plan).distance(filtered.evaluate_unprotected()) < 1e-9
+
+
+class TestGraphQueriesUnderEdgeSwaps:
+    """The central guarantee behind the MCMC engine: for the paper's graph
+    queries, incremental updates under edge swaps match eager re-evaluation."""
+
+    def _run_swaps(self, graph: Graph, build_query, swaps: int = 25, seed: int = 0):
+        session = PrivacySession(seed=seed)
+        edges = protect_graph(session, graph)
+        query = build_query(edges)
+        engine = DataflowEngine.from_plans([query.plan])
+        engine.initialize(session.environment())
+        rng = np.random.default_rng(seed)
+        current = graph.copy()
+        performed = 0
+        while performed < swaps:
+            edge_list = current.edge_list()
+            a, b = edge_list[int(rng.integers(0, len(edge_list)))]
+            c, d = edge_list[int(rng.integers(0, len(edge_list)))]
+            if rng.random() < 0.5:
+                c, d = d, c
+            if not current.can_swap(a, b, c, d):
+                continue
+            current.swap_edges(a, b, c, d)
+            engine.push(
+                "edges",
+                {
+                    (a, b): -1.0,
+                    (b, a): -1.0,
+                    (c, d): -1.0,
+                    (d, c): -1.0,
+                    (a, d): 1.0,
+                    (d, a): 1.0,
+                    (c, b): 1.0,
+                    (b, c): 1.0,
+                },
+            )
+            performed += 1
+        expected = query.plan.evaluate(
+            {"edges": WeightedDataset.from_records(current.to_edge_records())}
+        )
+        return engine.output(query.plan), expected
+
+    def test_triangles_by_intersect(self):
+        graph = erdos_renyi(20, 60, rng=4)
+        output, expected = self._run_swaps(graph, triangles_by_intersect_query)
+        assert output.distance(expected) < 1e-6
+
+    def test_joint_degree_distribution(self):
+        graph = erdos_renyi(20, 60, rng=5)
+        output, expected = self._run_swaps(graph, joint_degree_query)
+        assert output.distance(expected) < 1e-6
+
+    def test_triangles_by_degree(self):
+        graph = erdos_renyi(16, 40, rng=6)
+        output, expected = self._run_swaps(graph, triangles_by_degree_query, swaps=15)
+        assert output.distance(expected) < 1e-6

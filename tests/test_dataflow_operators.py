@@ -1,0 +1,209 @@
+"""Unit tests for individual incremental operators.
+
+Each operator is checked against its eager counterpart: pushing a sequence of
+deltas must leave the operator's accumulated output equal to the eager
+transformation of the accumulated input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import WeightedDataset
+from repro.core import transformations as xf
+from repro.dataflow import (
+    ConcatNode,
+    ExceptNode,
+    GroupByNode,
+    IntersectNode,
+    JoinNode,
+    OutputCollector,
+    SelectManyNode,
+    SelectNode,
+    ShaveNode,
+    UnionNode,
+    WhereNode,
+)
+
+
+def drive_unary(node, deltas):
+    """Push deltas through a unary node, returning (input dataset, output)."""
+    collector = OutputCollector()
+    node.subscribe(collector, 0)
+    accumulated: dict = {}
+    for delta in deltas:
+        node.on_delta(dict(delta), 0)
+        for record, change in delta.items():
+            accumulated[record] = accumulated.get(record, 0.0) + change
+    return WeightedDataset(accumulated), collector.current()
+
+
+def drive_binary(node, left_deltas, right_deltas):
+    """Interleave deltas on both ports of a binary node."""
+    collector = OutputCollector()
+    node.subscribe(collector, 0)
+    left: dict = {}
+    right: dict = {}
+    for port, deltas, accumulated in ((0, left_deltas, left), (1, right_deltas, right)):
+        for delta in deltas:
+            node.on_delta(dict(delta), port)
+            for record, change in delta.items():
+                accumulated[record] = accumulated.get(record, 0.0) + change
+    return WeightedDataset(left), WeightedDataset(right), collector.current()
+
+
+DELTAS = [
+    {"a": 1.0, "b": 2.0},
+    {"a": -0.5, "c": 0.75},
+    {"b": -2.0, "d": 1.5},
+    {"c": 0.25, "a": 0.5},
+]
+
+
+class TestUnaryOperators:
+    def test_select(self):
+        node = SelectNode(lambda record: record.upper())
+        dataset, output = drive_unary(node, DELTAS)
+        assert output.distance(xf.select(dataset, lambda r: r.upper())) < 1e-9
+
+    def test_where(self):
+        node = WhereNode(lambda record: record in {"a", "c"})
+        dataset, output = drive_unary(node, DELTAS)
+        assert output.distance(xf.where(dataset, lambda r: r in {"a", "c"})) < 1e-9
+
+    def test_select_many(self):
+        mapper = lambda record: [record, record * 2, record * 3]
+        node = SelectManyNode(mapper)
+        dataset, output = drive_unary(node, DELTAS)
+        assert output.distance(xf.select_many(dataset, mapper)) < 1e-9
+
+    def test_select_many_caches_mapper(self):
+        calls = []
+
+        def mapper(record):
+            calls.append(record)
+            return [record]
+
+        node = SelectManyNode(mapper)
+        drive_unary(node, [{"a": 1.0}, {"a": -0.5}, {"a": 0.25}])
+        assert calls == ["a"]
+
+    def test_shave(self):
+        node = ShaveNode(0.5)
+        dataset, output = drive_unary(node, DELTAS)
+        assert output.distance(xf.shave(dataset, 0.5)) < 1e-9
+
+    def test_shave_removal(self):
+        node = ShaveNode(1.0)
+        dataset, output = drive_unary(node, [{"a": 3.0}, {"a": -3.0}])
+        assert output.is_empty()
+
+    def test_group_by(self):
+        node = GroupByNode(lambda record: record in {"a", "b"}, reducer=len)
+        dataset, output = drive_unary(node, DELTAS)
+        expected = xf.group_by(dataset, lambda r: r in {"a", "b"}, reducer=len)
+        assert output.distance(expected) < 1e-9
+
+    def test_group_by_group_disappears(self):
+        node = GroupByNode(lambda record: "k", reducer=len)
+        dataset, output = drive_unary(node, [{"a": 1.0}, {"a": -1.0}])
+        assert output.is_empty()
+
+
+class TestBinaryOperators:
+    def test_concat(self):
+        node = ConcatNode()
+        left, right, output = drive_binary(node, DELTAS[:2], DELTAS[2:])
+        assert output.distance(xf.concat(left, right)) < 1e-9
+
+    def test_except(self):
+        node = ExceptNode()
+        left, right, output = drive_binary(node, DELTAS[:2], DELTAS[2:])
+        assert output.distance(xf.except_(left, right)) < 1e-9
+
+    def test_union(self):
+        node = UnionNode()
+        left, right, output = drive_binary(node, DELTAS[:2], DELTAS[2:])
+        assert output.distance(xf.union(left, right)) < 1e-9
+
+    def test_intersect(self):
+        node = IntersectNode()
+        left, right, output = drive_binary(node, DELTAS[:2], DELTAS[2:])
+        assert output.distance(xf.intersect(left, right)) < 1e-9
+
+    def test_binary_port_validation(self):
+        with pytest.raises(ValueError):
+            UnionNode().on_delta({"a": 1.0}, port=2)
+        with pytest.raises(ValueError):
+            JoinNode(lambda x: x, lambda y: y).on_delta({"a": 1.0}, port=5)
+
+
+class TestJoinNode:
+    def test_matches_eager_join(self):
+        node = JoinNode(lambda x: hash(x) % 2, lambda y: hash(y) % 2)
+        left, right, output = drive_binary(node, DELTAS[:2], DELTAS[2:])
+        expected = xf.join(left, right, lambda x: hash(x) % 2, lambda y: hash(y) % 2)
+        assert output.distance(expected) < 1e-9
+
+    def test_norm_preserving_fast_path_matches_slow_path(self):
+        # Move weight between records of the same key without changing the
+        # key's total weight: the optimised path must agree with the eager
+        # evaluation.
+        key = lambda record: "k"
+        node = JoinNode(key, key)
+        collector = OutputCollector()
+        node.subscribe(collector, 0)
+        node.on_delta({"l1": 1.0, "l2": 1.0}, 0)
+        node.on_delta({"r1": 1.0, "r2": 1.0}, 1)
+        # Swap-like move: remove l1, add l3 (net zero for the key).
+        node.on_delta({"l1": -1.0, "l3": 1.0}, 0)
+        left = WeightedDataset({"l2": 1.0, "l3": 1.0})
+        right = WeightedDataset({"r1": 1.0, "r2": 1.0})
+        expected = xf.join(left, right, key, key)
+        assert collector.current().distance(expected) < 1e-9
+
+    def test_norm_changing_path(self):
+        key = lambda record: "k"
+        node = JoinNode(key, key)
+        collector = OutputCollector()
+        node.subscribe(collector, 0)
+        node.on_delta({"l1": 1.0}, 0)
+        node.on_delta({"r1": 1.0, "r2": 1.0}, 1)
+        # Adding a record changes the normaliser; all outputs rescale.
+        node.on_delta({"l2": 1.0}, 0)
+        left = WeightedDataset({"l1": 1.0, "l2": 1.0})
+        right = WeightedDataset({"r1": 1.0, "r2": 1.0})
+        expected = xf.join(left, right, key, key)
+        assert collector.current().distance(expected) < 1e-9
+
+    def test_result_selector(self):
+        node = JoinNode(lambda x: 0, lambda y: 0, result_selector=lambda a, b: f"{a}|{b}")
+        collector = OutputCollector()
+        node.subscribe(collector, 0)
+        node.on_delta({"a": 1.0}, 0)
+        node.on_delta({"b": 1.0}, 1)
+        assert collector.current()["a|b"] == pytest.approx(0.5)
+
+    def test_empty_sides_produce_no_output(self):
+        node = JoinNode(lambda x: 0, lambda y: 0)
+        collector = OutputCollector()
+        node.subscribe(collector, 0)
+        node.on_delta({"a": 1.0}, 0)
+        assert collector.current().is_empty()
+
+
+class TestOutputCollector:
+    def test_listener_sees_old_values(self):
+        collector = OutputCollector()
+        seen = []
+        collector.add_listener(lambda old, delta: seen.append((dict(old), dict(delta))))
+        collector.on_delta({"a": 1.0}, 0)
+        collector.on_delta({"a": 0.5}, 0)
+        assert seen[0] == ({"a": 0.0}, {"a": 1.0})
+        assert seen[1] == ({"a": 1.0}, {"a": 0.5})
+
+    def test_weight_accessor(self):
+        collector = OutputCollector()
+        collector.on_delta({"a": 2.0}, 0)
+        assert collector.weight("a") == 2.0
+        assert collector.weight("missing") == 0.0

@@ -1,0 +1,54 @@
+"""Fast unit-level checks of the Section 1.1 smooth-sensitivity ablation.
+
+The benchmark runs this workflow at full size; here a scaled-down invocation
+checks the row structure and the deterministic parts of the comparison (noise
+scales), so regressions are caught without paying the benchmark's cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import smooth_sensitivity_ablation
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return smooth_sensitivity_ablation(nodes=120, epsilon=0.5, delta=0.01, trials=5, seed=3)
+
+
+class TestSmoothAblationRows:
+    def test_every_graph_and_mechanism_is_present(self, rows):
+        graphs = {row[0] for row in rows}
+        mechanisms = {row[1] for row in rows}
+        assert graphs == {"worst-case (left)", "best-case (right)", "union (left + right)"}
+        assert mechanisms == {"worst-case noise", "smooth sensitivity", "weighted records"}
+        assert len(rows) == 9
+
+    def test_worst_case_scale_is_nodes_over_epsilon(self, rows):
+        scales = {(g, m): scale for g, m, _, scale, _ in rows}
+        assert scales[("best-case (right)", "worst-case noise")] == pytest.approx(118 / 0.5)
+
+    def test_weighted_scale_is_constant(self, rows):
+        scales = {(g, m): scale for g, m, _, scale, _ in rows}
+        for graph in ("worst-case (left)", "best-case (right)", "union (left + right)"):
+            assert scales[(graph, "weighted records")] == pytest.approx(2.0)
+
+    def test_smooth_scale_tracks_worst_case_on_the_union_graph(self, rows):
+        scales = {(g, m): scale for g, m, _, scale, _ in rows}
+        union_smooth = scales[("union (left + right)", "smooth sensitivity")]
+        union_worst = scales[("union (left + right)", "worst-case noise")]
+        assert union_smooth > union_worst / 3.0
+
+    def test_targets_are_consistent_with_the_graphs(self, rows):
+        targets = {(g, m): target for g, m, target, _, _ in rows}
+        # The left graph has no triangles; the union inherits the right half's.
+        assert targets[("worst-case (left)", "worst-case noise")] == 0.0
+        assert targets[("union (left + right)", "worst-case noise")] > 0.0
+        # The weighted mechanism targets the weighted total, which is smaller.
+        assert targets[("best-case (right)", "weighted records")] < targets[
+            ("best-case (right)", "worst-case noise")
+        ]
+
+    def test_relative_errors_are_nonnegative(self, rows):
+        assert all(row[4] >= 0.0 for row in rows)

@@ -1,0 +1,121 @@
+"""Tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_deduplicates(self):
+        graph = Graph([(1, 2), (2, 1), (1, 2)])
+        assert graph.number_of_edges() == 1
+
+    def test_from_edge_records_round_trip(self, triangle_graph):
+        records = triangle_graph.to_edge_records(symmetric=True)
+        rebuilt = Graph.from_edge_records(records)
+        assert rebuilt == triangle_graph
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.add_edge(1, 4)
+        assert not triangle_graph.has_edge(1, 4)
+        assert clone != triangle_graph
+
+    def test_add_node_isolated(self):
+        graph = Graph()
+        graph.add_node("x")
+        assert graph.has_node("x")
+        assert graph.degree("x") == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([(1, 1)])
+
+
+class TestQueries:
+    def test_degrees(self, triangle_graph):
+        assert triangle_graph.degrees() == {1: 2, 2: 2, 3: 2}
+        assert triangle_graph.max_degree() == 2
+        assert triangle_graph.degree(99) == 0
+
+    def test_neighbors(self, triangle_graph):
+        assert triangle_graph.neighbors(1) == {2, 3}
+        with pytest.raises(GraphError):
+            triangle_graph.neighbors(99)
+
+    def test_edges_iterates_each_once(self, triangle_graph):
+        assert len(triangle_graph.edge_list()) == 3
+        assert triangle_graph.number_of_edges() == 3
+
+    def test_counts(self, triangle_graph):
+        assert triangle_graph.number_of_nodes() == 3
+        assert triangle_graph.degree_sum_of_squares() == 12
+
+    def test_has_edge_symmetric(self, triangle_graph):
+        assert triangle_graph.has_edge(1, 2)
+        assert triangle_graph.has_edge(2, 1)
+        assert not triangle_graph.has_edge(1, 4)
+
+    def test_repr(self, triangle_graph):
+        assert "nodes=3" in repr(triangle_graph)
+
+
+class TestMutation:
+    def test_add_edge_returns_false_for_duplicates(self):
+        graph = Graph()
+        assert graph.add_edge(1, 2) is True
+        assert graph.add_edge(2, 1) is False
+
+    def test_remove_edge(self, triangle_graph):
+        triangle_graph.remove_edge(1, 2)
+        assert not triangle_graph.has_edge(1, 2)
+        assert triangle_graph.number_of_edges() == 2
+
+    def test_remove_missing_edge_raises(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.remove_edge(1, 4)
+
+
+class TestEdgeSwaps:
+    @pytest.fixture()
+    def path_graph(self):
+        return Graph([(1, 2), (3, 4)])
+
+    def test_valid_swap(self, path_graph):
+        assert path_graph.can_swap(1, 2, 3, 4)
+        path_graph.swap_edges(1, 2, 3, 4)
+        assert path_graph.has_edge(1, 4)
+        assert path_graph.has_edge(3, 2)
+        assert not path_graph.has_edge(1, 2)
+
+    def test_swap_preserves_degrees(self, path_graph):
+        before = path_graph.degrees()
+        path_graph.swap_edges(1, 2, 3, 4)
+        assert path_graph.degrees() == before
+
+    def test_swap_rejected_when_edge_exists(self):
+        graph = Graph([(1, 2), (3, 4), (1, 4)])
+        assert not graph.can_swap(1, 2, 3, 4)
+        with pytest.raises(GraphError):
+            graph.swap_edges(1, 2, 3, 4)
+
+    def test_swap_rejected_for_shared_endpoint(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert not graph.can_swap(1, 2, 2, 3)
+
+    def test_swap_rejected_for_missing_edges(self, path_graph):
+        assert not path_graph.can_swap(1, 3, 2, 4)
+
+
+class TestEdgeRecords:
+    def test_symmetric_records_doubled(self, triangle_graph):
+        records = triangle_graph.to_edge_records(symmetric=True)
+        assert len(records) == 6
+        assert (1, 2) in records and (2, 1) in records
+
+    def test_asymmetric_records(self, triangle_graph):
+        records = triangle_graph.to_edge_records(symmetric=False)
+        assert len(records) == 3

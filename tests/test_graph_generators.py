@@ -1,0 +1,135 @@
+"""Tests for the random graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    barabasi_albert,
+    collaboration_graph,
+    degree_preserving_rewire,
+    degree_sequence,
+    erdos_renyi,
+    graph_from_degree_sequence,
+    random_twin,
+    social_graph,
+    triangle_count,
+)
+
+
+class TestErdosRenyi:
+    def test_node_and_edge_counts(self):
+        graph = erdos_renyi(30, 60, rng=0)
+        assert graph.number_of_nodes() == 30
+        assert graph.number_of_edges() == 60
+
+    def test_deterministic_given_seed(self):
+        assert erdos_renyi(20, 40, rng=5) == erdos_renyi(20, 40, rng=5)
+        assert erdos_renyi(20, 40, rng=5) != erdos_renyi(20, 40, rng=6)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(1, 0)
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 100)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count_roughly_m_per_node(self):
+        graph = barabasi_albert(300, 5, beta=0.5, rng=1)
+        assert graph.number_of_nodes() == 300
+        assert graph.number_of_edges() >= 5 * (300 - 6)
+
+    def test_higher_beta_gives_heavier_tail(self):
+        low = barabasi_albert(800, 6, beta=0.5, rng=2)
+        high = barabasi_albert(800, 6, beta=0.7, rng=2)
+        assert high.max_degree() > low.max_degree()
+        assert high.degree_sum_of_squares() > low.degree_sum_of_squares()
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 10)
+        with pytest.raises(GraphError):
+            barabasi_albert(100, 3, beta=1.5)
+        with pytest.raises(GraphError):
+            barabasi_albert(100, 3, beta=0.0)
+
+
+class TestDegreeSequenceRealisation:
+    def test_realises_graphical_sequence_exactly(self):
+        target = [3, 3, 2, 2, 2, 2]
+        graph = graph_from_degree_sequence(target, rng=0)
+        assert degree_sequence(graph) == sorted(target, reverse=True)
+
+    def test_regular_sequence(self):
+        target = [2] * 10
+        graph = graph_from_degree_sequence(target, rng=1)
+        assert degree_sequence(graph) == target
+
+    def test_non_graphical_sequence_is_approximated(self):
+        # A single node demanding degree 5 with only 2 partners available.
+        graph = graph_from_degree_sequence([5, 1, 1], rng=0)
+        realised = degree_sequence(graph)
+        assert realised[0] <= 2
+        assert graph.number_of_nodes() == 3
+
+    def test_zero_degrees_allowed(self):
+        graph = graph_from_degree_sequence([0, 0, 2, 1, 1], rng=0)
+        assert graph.number_of_nodes() == 5
+
+    def test_randomisation_changes_wiring_but_not_degrees(self):
+        target = [4, 3, 3, 2, 2, 2, 2, 2]
+        deterministic = graph_from_degree_sequence(target, rng=0, randomize_swaps=0)
+        randomized = graph_from_degree_sequence(target, rng=0)
+        assert degree_sequence(deterministic) == degree_sequence(randomized)
+
+
+class TestRewiring:
+    def test_rewire_preserves_degrees(self, medium_random_graph):
+        twin = degree_preserving_rewire(medium_random_graph, rng=0)
+        assert degree_sequence(twin) == degree_sequence(medium_random_graph)
+        assert twin.number_of_edges() == medium_random_graph.number_of_edges()
+
+    def test_rewire_changes_the_graph(self, medium_random_graph):
+        twin = degree_preserving_rewire(medium_random_graph, rng=0)
+        assert twin != medium_random_graph
+
+    def test_random_twin_alias(self, medium_random_graph):
+        assert degree_sequence(random_twin(medium_random_graph, rng=1)) == degree_sequence(
+            medium_random_graph
+        )
+
+    def test_rewire_does_not_mutate_input(self, medium_random_graph):
+        before = medium_random_graph.edge_list()
+        degree_preserving_rewire(medium_random_graph, rng=0)
+        assert medium_random_graph.edge_list() == before
+
+
+class TestDomainSpecificGenerators:
+    def test_collaboration_graph_has_triangles_and_positive_assortativity(self):
+        from repro.graph import assortativity
+
+        graph = collaboration_graph(400, 900, mean_authors=3.4, rng=3)
+        twin = random_twin(graph, rng=4)
+        assert triangle_count(graph) > 3 * triangle_count(twin)
+        assert assortativity(graph) > 0.1
+
+    def test_collaboration_graph_deterministic(self):
+        assert collaboration_graph(100, 200, rng=1) == collaboration_graph(100, 200, rng=1)
+
+    def test_social_graph_density(self):
+        graph = social_graph(300, 8, closure_probability=0.5, rng=2)
+        assert graph.number_of_nodes() == 300
+        average_degree = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert 6 <= average_degree <= 17
+
+    def test_social_graph_triadic_closure_creates_triangles(self):
+        closed = social_graph(300, 6, closure_probability=0.6, rng=5)
+        open_ = social_graph(300, 6, closure_probability=0.0, rng=5)
+        assert triangle_count(closed) > triangle_count(open_)
+
+    def test_social_graph_validation(self):
+        with pytest.raises(GraphError):
+            social_graph(4, 10)

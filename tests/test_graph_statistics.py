@@ -1,0 +1,173 @@
+"""Tests for exact graph statistics against hand-checked and networkx values."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    assortativity,
+    average_clustering,
+    degree_ccdf,
+    degree_histogram,
+    degree_sequence,
+    erdos_renyi,
+    iter_triangles,
+    joint_degree_distribution,
+    square_count,
+    squares_by_degree,
+    summarize,
+    triangle_count,
+    triangles_by_degree,
+)
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+@pytest.fixture()
+def known_graph():
+    """Two triangles sharing the edge (2, 3), plus a pendant vertex."""
+    return Graph([(1, 2), (2, 3), (3, 1), (2, 4), (3, 4), (4, 5)])
+
+
+class TestDegreeStatistics:
+    def test_degree_sequence(self, known_graph):
+        # Degrees: 2 -> 3, 3 -> 3, 4 -> 3, 1 -> 2, 5 -> 1.
+        assert degree_sequence(known_graph) == [3, 3, 3, 2, 1]
+
+    def test_degree_histogram(self, known_graph):
+        assert degree_histogram(known_graph) == {3: 3, 2: 1, 1: 1}
+
+    def test_degree_ccdf(self, known_graph):
+        # Nodes with degree > 0, > 1, > 2.
+        assert degree_ccdf(known_graph) == [5, 4, 3]
+
+    def test_ccdf_and_sequence_are_inverses(self, medium_random_graph):
+        sequence = degree_sequence(medium_random_graph)
+        ccdf = degree_ccdf(medium_random_graph)
+        rebuilt = [sum(1 for d in sequence if d > i) for i in range(len(ccdf))]
+        assert rebuilt == ccdf
+
+    def test_empty_graph(self):
+        graph = Graph()
+        assert degree_sequence(graph) == []
+        assert degree_ccdf(graph) == []
+        assert triangle_count(graph) == 0
+        assert assortativity(graph) == 0.0
+        assert average_clustering(graph) == 0.0
+
+
+class TestTriangles:
+    def test_known_triangles(self, known_graph):
+        triangles = set(iter_triangles(known_graph))
+        assert len(triangles) == 2
+        assert triangle_count(known_graph) == 2
+
+    def test_triangle_count_matches_networkx(self, medium_random_graph):
+        expected = sum(nx.triangles(to_networkx(medium_random_graph)).values()) // 3
+        assert triangle_count(medium_random_graph) == expected
+
+    def test_triangles_by_degree_total(self, medium_random_graph):
+        by_degree = triangles_by_degree(medium_random_graph)
+        assert sum(by_degree.values()) == triangle_count(medium_random_graph)
+
+    def test_triangles_by_degree_keys_sorted(self, known_graph):
+        assert all(list(k) == sorted(k) for k in triangles_by_degree(known_graph))
+
+    def test_bucketed_triangles(self, known_graph):
+        bucketed = triangles_by_degree(known_graph, bucket=2)
+        assert sum(bucketed.values()) == 2
+        assert all(max(key) <= 1 for key in bucketed)
+
+    def test_bucket_validation(self, known_graph):
+        with pytest.raises(ValueError):
+            triangles_by_degree(known_graph, bucket=0)
+
+
+class TestSquares:
+    def test_four_cycle(self):
+        assert square_count(Graph([(1, 2), (2, 3), (3, 4), (4, 1)])) == 1
+
+    def test_complete_graph_k4(self):
+        k4 = Graph([(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
+        assert square_count(k4) == 3
+
+    def test_triangle_has_no_squares(self, triangle_graph):
+        assert square_count(triangle_graph) == 0
+
+    def test_squares_by_degree_total_matches_count(self, small_random_graph):
+        by_degree = squares_by_degree(small_random_graph)
+        assert sum(by_degree.values()) == square_count(small_random_graph)
+
+    def test_square_count_matches_adjacency_matrix_formula(self, small_random_graph):
+        # Independent cross-check: the number of 4-cycles of a simple graph is
+        # (trace(A^4) - 2 Σ d_i^2 + 2m) / 8.
+        import numpy as np
+
+        nodes = sorted(small_random_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        adjacency = np.zeros((len(nodes), len(nodes)))
+        for a, b in small_random_graph.edges():
+            adjacency[index[a], index[b]] = 1
+            adjacency[index[b], index[a]] = 1
+        degrees = adjacency.sum(axis=1)
+        trace_a4 = np.trace(np.linalg.matrix_power(adjacency, 4))
+        expected = (
+            trace_a4 - 2 * (degrees**2).sum() + 2 * small_random_graph.number_of_edges()
+        ) / 8.0
+        assert square_count(small_random_graph) == pytest.approx(expected)
+
+
+class TestAssortativityAndClustering:
+    def test_assortativity_matches_networkx(self, medium_random_graph):
+        expected = nx.degree_assortativity_coefficient(to_networkx(medium_random_graph))
+        assert assortativity(medium_random_graph) == pytest.approx(expected, abs=1e-6)
+
+    def test_star_graph_is_disassortative(self):
+        star = Graph([(0, i) for i in range(1, 8)])
+        # A pure star has undefined assortativity in some conventions; adding
+        # one leaf-to-leaf edge makes it clearly negative.
+        star.add_edge(1, 2)
+        assert assortativity(star) < 0
+
+    def test_clustering_matches_networkx(self, medium_random_graph):
+        expected = nx.average_clustering(to_networkx(medium_random_graph))
+        assert average_clustering(medium_random_graph) == pytest.approx(expected, abs=1e-9)
+
+    def test_clustering_of_complete_graph_is_one(self):
+        k4 = Graph([(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
+        assert average_clustering(k4) == pytest.approx(1.0)
+
+
+class TestJointDegreeDistribution:
+    def test_counts_every_edge_once(self, medium_random_graph):
+        jdd = joint_degree_distribution(medium_random_graph)
+        assert sum(jdd.values()) == medium_random_graph.number_of_edges()
+
+    def test_keys_are_ordered_pairs(self, medium_random_graph):
+        assert all(a <= b for a, b in joint_degree_distribution(medium_random_graph))
+
+    def test_known_graph(self, known_graph):
+        jdd = joint_degree_distribution(known_graph)
+        # Edges (2,3), (2,4), (3,4) join two degree-3 vertices.
+        assert jdd[(3, 3)] == 3
+        # Edges (1,2) and (1,3) join degree 2 to degree 3.
+        assert jdd[(2, 3)] == 2
+        # The pendant edge (4,5) joins degree 1 to degree 3.
+        assert jdd[(1, 3)] == 1
+
+
+class TestSummarize:
+    def test_summary_fields(self, medium_random_graph):
+        summary = summarize(medium_random_graph)
+        assert summary["nodes"] == medium_random_graph.number_of_nodes()
+        assert summary["edges"] == medium_random_graph.number_of_edges()
+        assert summary["dmax"] == medium_random_graph.max_degree()
+        assert summary["triangles"] == triangle_count(medium_random_graph)
+        assert summary["degree_sum_of_squares"] == medium_random_graph.degree_sum_of_squares()

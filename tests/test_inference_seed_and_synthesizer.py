@@ -1,0 +1,183 @@
+"""Tests for Phase 1 (seed graphs) and the end-to-end graph synthesiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import protect_graph, triangles_by_intersect_query
+from repro.core import PrivacySession
+from repro.graph import (
+    degree_sequence,
+    erdos_renyi,
+    paper_graph_with_twin,
+    triangle_count,
+)
+from repro.inference import (
+    DegreeSequenceMeasurements,
+    GraphSynthesizer,
+    SEED_EDGE_USES,
+    build_seed_graph,
+    measure_degree_statistics,
+    seed_graph_from_edges,
+    synthesize_graph,
+)
+
+
+@pytest.fixture()
+def graph():
+    return erdos_renyi(40, 120, rng=41)
+
+
+@pytest.fixture()
+def protected(graph):
+    session = PrivacySession(seed=14)
+    return session, protect_graph(session, graph, total_epsilon=float("inf"))
+
+
+class TestPhase1:
+    def test_measurements_and_fit(self, protected, graph):
+        _, edges = protected
+        measurements = measure_degree_statistics(edges, epsilon=2.0)
+        assert isinstance(measurements, DegreeSequenceMeasurements)
+        truth = degree_sequence(graph)
+        fitted = measurements.fitted_degrees
+        # At this fairly generous epsilon the fitted sequence is close.
+        error = sum(
+            abs((fitted[i] if i < len(fitted) else 0) - truth[i]) for i in range(len(truth))
+        ) / len(truth)
+        assert error < 2.0
+        assert measurements.node_count_estimate == pytest.approx(
+            graph.number_of_nodes(), abs=10
+        )
+        assert measurements.epsilon_spent == pytest.approx(3 * 2.0)
+
+    def test_phase1_costs_three_epsilon(self, graph):
+        session = PrivacySession(seed=15)
+        edges = protect_graph(session, graph, total_epsilon=10.0)
+        measure_degree_statistics(edges, epsilon=0.5)
+        assert session.spent_budget("edges") == pytest.approx(SEED_EDGE_USES * 0.5)
+
+    def test_build_seed_graph_realises_fit(self):
+        seed = build_seed_graph([4, 3, 3, 2, 2, 2], rng=0)
+        assert degree_sequence(seed) == [4, 3, 3, 2, 2, 2]
+
+    def test_build_seed_graph_empty_sequence(self):
+        assert build_seed_graph([], rng=0).number_of_nodes() == 0
+
+    def test_seed_graph_from_edges_matches_degree_distribution(self, protected, graph):
+        _, edges = protected
+        seed, measurements = seed_graph_from_edges(edges, epsilon=2.0, rng=1)
+        truth = degree_sequence(graph)
+        produced = degree_sequence(seed)
+        # Same rough size and maximum degree.
+        assert abs(len(produced) - len(truth)) <= max(5, len(truth) // 5)
+        assert abs(produced[0] - truth[0]) <= 5
+        assert measurements.fitted_degrees
+
+
+class TestGraphSynthesizer:
+    def test_requires_measurements(self, graph):
+        with pytest.raises(ValueError):
+            GraphSynthesizer([], graph)
+
+    def test_seed_graph_not_mutated(self, protected, graph):
+        _, edges = protected
+        measurement = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        seed = erdos_renyi(40, 120, rng=5)
+        snapshot = seed.copy()
+        synthesizer = GraphSynthesizer([measurement], seed, pow_=100.0, rng=0)
+        synthesizer.run(100)
+        assert seed == snapshot
+        assert synthesizer.graph != snapshot or synthesizer.sampler.accepted == 0
+
+    def test_mcmc_preserves_degree_sequence(self, protected):
+        _, edges = protected
+        measurement = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        seed = erdos_renyi(40, 120, rng=6)
+        expected_degrees = degree_sequence(seed)
+        synthesizer = GraphSynthesizer([measurement], seed, pow_=100.0, rng=1)
+        synthesizer.run(200)
+        assert degree_sequence(synthesizer.graph) == expected_degrees
+
+    def test_engine_graph_and_walk_stay_consistent(self, protected):
+        _, edges = protected
+        measurement = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        seed = erdos_renyi(30, 80, rng=7)
+        synthesizer = GraphSynthesizer([measurement], seed, pow_=100.0, rng=2)
+        synthesizer.run(150)
+        # The engine's source dataset must equal the walk's graph, record for
+        # record — acceptance bookkeeping and rollbacks kept them in sync.
+        from repro.core import WeightedDataset
+
+        expected = WeightedDataset.from_records(synthesizer.graph.to_edge_records())
+        assert synthesizer.engine.source_dataset("edges").distance(expected) < 1e-9
+
+    def test_score_never_worsens_catastrophically(self, protected):
+        _, edges = protected
+        measurement = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        seed = erdos_renyi(30, 80, rng=8)
+        synthesizer = GraphSynthesizer([measurement], seed, pow_=10_000.0, rng=3)
+        initial = synthesizer.log_score
+        synthesizer.run(300)
+        # With a sharp pow the sampler behaves like a greedy search: the final
+        # score should not be (much) worse than the initial one.
+        assert synthesizer.log_score >= initial - 1e-6
+
+    def test_trajectory_metrics_present(self, protected):
+        _, edges = protected
+        measurement = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        seed = erdos_renyi(30, 80, rng=9)
+        synthesizer = GraphSynthesizer([measurement], seed, pow_=100.0, rng=4)
+        result = synthesizer.run(100, record_every=50)
+        assert len(result.trajectory) == 2
+        assert {"triangles", "assortativity"} <= set(result.trajectory[0].metrics)
+
+    def test_state_entry_count_reported(self, protected):
+        _, edges = protected
+        measurement = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        synthesizer = GraphSynthesizer([measurement], erdos_renyi(30, 80, rng=10), rng=5)
+        assert synthesizer.state_entry_count() > 0
+
+
+class TestEndToEndWorkflow:
+    def test_synthesize_graph_moves_toward_real_triangle_count(self):
+        graph, twin = paper_graph_with_twin("CA-GrQc", scale=0.05)
+        session = PrivacySession(seed=21)
+        edges = protect_graph(session, graph, total_epsilon=10.0)
+        tbi = triangles_by_intersect_query(edges)
+        outcome = synthesize_graph(
+            session,
+            edges,
+            fit_queries=[(tbi, 0.2, "tbi")],
+            seed_epsilon=0.2,
+            mcmc_steps=1500,
+            record_every=500,
+            rng=2,
+        )
+        # Privacy accounting: 3 eps (seed) + 4 eps (TbI).
+        assert outcome.privacy_cost["edges"] == pytest.approx(7 * 0.2)
+        # The synthetic graph gains triangles relative to its seed, moving
+        # toward the (much larger) true count.
+        assert outcome.synthetic_triangles > outcome.seed_triangles
+        assert outcome.synthetic_triangles <= triangle_count(graph) * 1.5
+        # Degree distribution inherited from the seed is preserved by MCMC.
+        assert degree_sequence(outcome.synthetic_graph) == degree_sequence(outcome.seed_graph)
+        # Trajectory recorded.
+        assert len(outcome.mcmc_result.trajectory) == 3
+
+    def test_random_twin_stays_flat(self):
+        _, twin = paper_graph_with_twin("CA-GrQc", scale=0.05)
+        session = PrivacySession(seed=22)
+        edges = protect_graph(session, twin, total_epsilon=10.0)
+        tbi = triangles_by_intersect_query(edges)
+        outcome = synthesize_graph(
+            session,
+            edges,
+            fit_queries=[(tbi, 0.2, "tbi")],
+            seed_epsilon=0.2,
+            mcmc_steps=800,
+            rng=3,
+        )
+        # Fitting a triangle-poor graph should not invent a large number of
+        # triangles: the final count stays within a modest factor of the truth.
+        assert outcome.synthetic_triangles < max(4 * triangle_count(twin), 50)

@@ -1,0 +1,131 @@
+"""Cross-module integration tests.
+
+These exercise realistic end-to-end combinations that no single unit test
+covers: multi-measurement MCMC, privacy accounting across a whole analysis
+session, and the equivalence between the direct Theorem 2 mechanism and the
+rescaled TbD query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import (
+    joint_degree_query,
+    measure_triangles_by_degree,
+    protect_graph,
+    rescale_tbd_measurement,
+    tbd_record_weight,
+    triangles_by_intersect_query,
+)
+from repro.core import PrivacySession
+from repro.exceptions import BudgetExceededError
+from repro.experiments import combined_measurements_ablation, ExperimentConfig
+from repro.graph import (
+    degree_sequence,
+    erdos_renyi,
+    joint_degree_distribution,
+    load_paper_graph,
+    triangle_count,
+    triangles_by_degree,
+)
+from repro.inference import GraphSynthesizer, seed_graph_from_edges
+
+
+class TestSessionLevelAccounting:
+    def test_full_analysis_session_respects_budget(self):
+        """A Section 5-style session: seed measurements + TbI, on a budget."""
+        graph = load_paper_graph("CA-GrQc", scale=0.05)
+        session = PrivacySession(seed=1)
+        # Budget exactly 7 * 0.1: the canonical TbI workflow fits, nothing more.
+        edges = protect_graph(session, graph, total_epsilon=0.7)
+        seed_graph_from_edges(edges, epsilon=0.1, rng=0)       # 3 uses
+        tbi = triangles_by_intersect_query(edges)
+        tbi.noisy_count(0.1)                                    # 4 uses
+        assert session.remaining_budget("edges") == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(BudgetExceededError):
+            tbi.noisy_count(0.01)
+
+    def test_two_protected_graphs_in_one_session(self):
+        first = erdos_renyi(15, 30, rng=1)
+        second = erdos_renyi(15, 30, rng=2)
+        session = PrivacySession(seed=3)
+        edges_a = protect_graph(session, first, name="graph_a", total_epsilon=1.0)
+        edges_b = protect_graph(session, second, name="graph_b", total_epsilon=1.0)
+        triangles_by_intersect_query(edges_a).noisy_count(0.1)
+        assert session.spent_budget("graph_a") == pytest.approx(0.4)
+        assert session.spent_budget("graph_b") == 0.0
+        triangles_by_intersect_query(edges_b).noisy_count(0.2)
+        assert session.spent_budget("graph_b") == pytest.approx(0.8)
+
+
+class TestTheoremConsistency:
+    def test_rescaled_tbd_and_theorem2_agree_in_expectation(self):
+        """The TbD query divided by its record weight *is* Theorem 2's release.
+
+        At very high epsilon both reduce to the exact triangles-by-degree
+        counts, so they must agree with each other and with the ground truth.
+        """
+        graph = erdos_renyi(13, 30, rng=5)
+        session = PrivacySession(seed=5)
+        edges = protect_graph(session, graph)
+        measurement = measure_triangles_by_degree(edges, 1e7)
+        estimates = rescale_tbd_measurement(measurement)
+        exact = triangles_by_degree(graph)
+        assert set(estimates) == set(exact)
+        for triple, count in exact.items():
+            assert estimates[triple] == pytest.approx(count, abs=1e-2)
+            # Consistency of the closed form used by both paths.
+            assert measurement[triple] == pytest.approx(
+                count * tbd_record_weight(*triple), abs=1e-2
+            )
+
+
+class TestMultiMeasurementSynthesis:
+    def test_fitting_tbi_and_jdd_simultaneously(self):
+        """Both measurements drive one chain; degree sequence stays intact."""
+        graph = load_paper_graph("CA-GrQc", scale=0.04)
+        session = PrivacySession(seed=6)
+        edges = protect_graph(session, graph)
+        tbi = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        jdd = joint_degree_query(edges).noisy_count(0.5, query_name="jdd")
+        seed = erdos_renyi(
+            graph.number_of_nodes(), graph.number_of_edges(), rng=1
+        )
+        synthesizer = GraphSynthesizer([tbi, jdd], seed, pow_=1000.0, rng=2)
+        before = dict(synthesizer.distances())
+        synthesizer.run(600)
+        after = synthesizer.distances()
+        # The combined L1 distance must improve, and the degree sequence of
+        # the synthetic graph is untouched by the edge-swap walk.
+        assert sum(after.values()) < sum(before.values())
+        assert degree_sequence(synthesizer.graph) == degree_sequence(seed)
+
+    def test_combined_ablation_runs_at_tiny_scale(self):
+        config = ExperimentConfig(graph_scale=1.0, step_scale=1.0, epsilon=0.3, pow_=1000.0, seed=9)
+        rows = combined_measurements_ablation(config, base_scale=0.03, base_steps=400)
+        assert [label for label, *_ in rows] == ["TbI only", "TbI + JDD"]
+        for _, seed_triangles, final_triangles, truth in rows:
+            assert final_triangles >= 0
+            assert truth > 0
+            assert seed_triangles >= 0
+
+
+class TestSyntheticDataUtility:
+    def test_synthetic_graph_supports_downstream_statistics(self):
+        """Benefit #3 of Section 1.2: query the synthetic graph for statistics
+        that were never measured directly (here, the joint degree distribution
+        and assortativity), and get plausible values."""
+        graph = load_paper_graph("CA-GrQc", scale=0.04)
+        session = PrivacySession(seed=8)
+        edges = protect_graph(session, graph)
+        tbi = triangles_by_intersect_query(edges).noisy_count(0.5, query_name="tbi")
+        seed, _ = seed_graph_from_edges(edges, epsilon=0.5, rng=3)
+        synthesizer = GraphSynthesizer([tbi], seed, pow_=1000.0, rng=4)
+        synthesizer.run(800)
+        synthetic = synthesizer.graph
+        # Unmeasured statistics are well-defined and in a sane range.
+        jdd = joint_degree_distribution(synthetic)
+        assert sum(jdd.values()) == synthetic.number_of_edges()
+        assert -1.0 <= synthesizer.assortativity() <= 1.0
+        assert triangle_count(synthetic) >= 0

@@ -1,0 +1,87 @@
+"""Tests for the Laplace noise primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import LaplaceNoise, laplace_density, laplace_log_density, validate_epsilon
+from repro.exceptions import InvalidEpsilonError
+
+
+class TestValidateEpsilon:
+    def test_accepts_positive_values(self):
+        assert validate_epsilon(0.1) == 0.1
+        assert validate_epsilon(10) == 10.0
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"), float("inf"), "abc", None])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(InvalidEpsilonError):
+            validate_epsilon(bad)
+
+
+class TestLaplaceNoise:
+    def test_seeded_noise_is_deterministic(self):
+        first = LaplaceNoise(42).sample_many(1.0, 5)
+        second = LaplaceNoise(42).sample_many(1.0, 5)
+        assert np.allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(LaplaceNoise(1).sample_many(1.0, 5), LaplaceNoise(2).sample_many(1.0, 5))
+
+    def test_accepts_existing_generator(self):
+        generator = np.random.default_rng(7)
+        noise = LaplaceNoise(generator)
+        assert noise.rng is generator
+
+    def test_sample_scale_matches_epsilon(self):
+        noise = LaplaceNoise(0)
+        draws = noise.sample_many(0.5, 20_000)
+        # Laplace(1/eps) has standard deviation sqrt(2)/eps.
+        assert np.std(draws) == pytest.approx(math.sqrt(2.0) / 0.5, rel=0.05)
+
+    def test_sample_mean_is_zero(self):
+        draws = LaplaceNoise(0).sample_many(1.0, 20_000)
+        assert abs(np.mean(draws)) < 0.05
+
+    def test_perturb_adds_noise_elementwise(self):
+        noise = LaplaceNoise(3)
+        values = [1.0, 2.0, 3.0]
+        perturbed = noise.perturb(values, 10.0)
+        assert len(perturbed) == 3
+        assert perturbed != values
+
+    def test_sample_many_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            LaplaceNoise(0).sample_many(1.0, -1)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidEpsilonError):
+            LaplaceNoise(0).sample(0.0)
+
+    def test_spawn_gives_independent_reproducible_stream(self):
+        parent_a = LaplaceNoise(9)
+        parent_b = LaplaceNoise(9)
+        child_a = parent_a.spawn()
+        child_b = parent_b.spawn()
+        assert np.allclose(child_a.sample_many(1.0, 3), child_b.sample_many(1.0, 3))
+
+
+class TestDensities:
+    def test_log_density_peaks_at_zero(self):
+        assert laplace_log_density(0.0, 1.0) > laplace_log_density(1.0, 1.0)
+
+    def test_density_matches_closed_form(self):
+        epsilon, deviation = 0.5, 2.0
+        expected = (epsilon / 2.0) * math.exp(-epsilon * abs(deviation))
+        assert laplace_density(deviation, epsilon) == pytest.approx(expected)
+
+    def test_density_is_symmetric(self):
+        assert laplace_density(1.5, 0.7) == pytest.approx(laplace_density(-1.5, 0.7))
+
+    def test_log_density_linear_in_deviation(self):
+        epsilon = 2.0
+        drop = laplace_log_density(1.0, epsilon) - laplace_log_density(2.0, epsilon)
+        assert drop == pytest.approx(epsilon)

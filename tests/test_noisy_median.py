@@ -1,0 +1,65 @@
+"""Tests for the exponential-mechanism weighted median aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedDataset
+from repro.core.aggregation import noisy_median
+
+
+@pytest.fixture()
+def skewed_values() -> WeightedDataset:
+    # Median of the underlying weighted multiset is 5: half the weight sits
+    # below it and half above it.
+    return WeightedDataset({1: 2.0, 2: 1.0, 5: 2.0, 9: 1.0, 10: 2.0})
+
+
+class TestNoisyMedian:
+    def test_large_epsilon_recovers_the_true_median(self, skewed_values):
+        result = noisy_median(skewed_values, epsilon=50.0, rng=0)
+        assert result == 5
+
+    def test_result_is_always_a_candidate(self, skewed_values):
+        for seed in range(20):
+            result = noisy_median(skewed_values, epsilon=0.5, rng=seed)
+            assert result in {1.0, 2.0, 5.0, 9.0, 10.0}
+
+    def test_explicit_candidate_grid_is_respected(self, skewed_values):
+        grid = [0.0, 4.0, 8.0, 12.0]
+        for seed in range(10):
+            result = noisy_median(skewed_values, epsilon=1.0, candidates=grid, rng=seed)
+            assert result in grid
+
+    def test_value_selector_maps_records_to_values(self):
+        dataset = WeightedDataset({("a", 3): 1.0, ("b", 7): 1.0, ("c", 11): 1.0})
+        result = noisy_median(
+            dataset, epsilon=50.0, value_selector=lambda record: record[1], rng=1
+        )
+        assert result == 7
+
+    def test_deterministic_under_a_fixed_generator(self, skewed_values):
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        assert noisy_median(skewed_values, 1.0, rng=rng_a) == noisy_median(
+            skewed_values, 1.0, rng=rng_b
+        )
+
+    def test_empty_candidate_set_raises(self):
+        with pytest.raises(ValueError):
+            noisy_median(WeightedDataset.empty(), epsilon=1.0)
+
+    def test_small_epsilon_spreads_probability(self, skewed_values):
+        # With a tiny epsilon the mechanism should not lock onto one value.
+        outcomes = {
+            noisy_median(skewed_values, epsilon=0.01, rng=seed) for seed in range(40)
+        }
+        assert len(outcomes) > 1
+
+    def test_low_epsilon_still_prefers_central_values_on_average(self):
+        # A heavier dataset sharpens the utility gap so even moderate epsilon
+        # should pick the median most of the time.
+        dataset = WeightedDataset({0: 10.0, 5: 20.0, 10: 10.0})
+        picks = [noisy_median(dataset, epsilon=2.0, rng=seed) for seed in range(30)]
+        assert picks.count(5.0) > len(picks) / 2

@@ -1,0 +1,165 @@
+"""Tests for isotonic regression and the joint CCDF/degree-sequence path fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LaplaceNoise
+from repro.graph import degree_ccdf, degree_sequence, erdos_renyi
+from repro.postprocess import (
+    fit_degree_sequence,
+    isotonic_regression,
+    project_to_degree_sequence,
+    staircase_cost,
+)
+
+
+class TestIsotonicRegression:
+    def test_already_monotone_is_unchanged(self):
+        values = [5.0, 4.0, 4.0, 1.0]
+        assert isotonic_regression(values) == pytest.approx(values)
+
+    def test_single_violation_is_pooled(self):
+        assert isotonic_regression([1.0, 2.0], increasing=False) == pytest.approx([1.5, 1.5])
+
+    def test_non_decreasing_mode(self):
+        assert isotonic_regression([2.0, 1.0], increasing=True) == pytest.approx([1.5, 1.5])
+
+    def test_output_is_monotone(self):
+        rng = np.random.default_rng(0)
+        values = list(rng.normal(size=50))
+        fitted = isotonic_regression(values)
+        assert all(a >= b - 1e-12 for a, b in zip(fitted, fitted[1:]))
+
+    def test_empty_input(self):
+        assert isotonic_regression([]) == []
+
+    def test_weighted_fit_respects_weights(self):
+        # The heavily weighted entry dominates its pooled block.
+        fitted = isotonic_regression([0.0, 10.0], increasing=False, weights=[1.0, 9.0])
+        assert fitted[0] == pytest.approx(9.0)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            isotonic_regression([1.0, 2.0], weights=[1.0])
+        with pytest.raises(ValueError):
+            isotonic_regression([1.0, 2.0], weights=[1.0, 0.0])
+
+    @settings(deadline=None)
+    @given(st.lists(st.floats(-20, 20, allow_nan=False), min_size=1, max_size=40))
+    def test_projection_properties(self, values):
+        fitted = isotonic_regression(values)
+        # Monotone non-increasing...
+        assert all(a >= b - 1e-9 for a, b in zip(fitted, fitted[1:]))
+        # ...and means are preserved (a property of least-squares isotonic fit).
+        assert float(np.mean(fitted)) == pytest.approx(float(np.mean(values)), abs=1e-6)
+
+    @settings(deadline=None)
+    @given(st.lists(st.floats(-20, 20, allow_nan=False), min_size=1, max_size=25))
+    def test_fit_is_no_worse_than_any_constant(self, values):
+        # The isotonic fit minimises squared error among monotone sequences,
+        # so it is at least as good as the best constant sequence.
+        fitted = isotonic_regression(values)
+        error_fit = sum((f - v) ** 2 for f, v in zip(fitted, values))
+        constant = float(np.mean(values))
+        error_constant = sum((constant - v) ** 2 for v in values)
+        assert error_fit <= error_constant + 1e-6
+
+    def test_project_to_degree_sequence_rounds_and_trims(self):
+        noisy = [4.2, 3.9, 0.4, -0.7, 0.2]
+        projected = project_to_degree_sequence(noisy)
+        assert projected == [4, 4]  # pooled 4.05, rounded; trailing zeros trimmed
+
+    def test_project_handles_all_noise(self):
+        assert project_to_degree_sequence([-0.5, -0.1, 0.2]) in ([], [0, 0, 0][:0])
+
+
+class TestPathFit:
+    def test_perfect_measurements_recover_sequence(self):
+        truth = [5, 4, 4, 2, 1]
+        ccdf = [5, 4, 3, 3, 1]  # number of ranks with degree > i, i = 0..4
+        fitted = fit_degree_sequence(truth, ccdf, max_rank=8, max_degree=8)
+        assert fitted == truth
+
+    def test_recovers_from_noise_on_real_degree_data(self):
+        graph = erdos_renyi(60, 200, rng=1)
+        truth = degree_sequence(graph)
+        ccdf = degree_ccdf(graph)
+        noise = LaplaceNoise(3)
+        noisy_seq = {i: v + noise.sample(0.5) for i, v in enumerate(truth)}
+        noisy_ccdf = {i: v + noise.sample(0.5) for i, v in enumerate(ccdf)}
+        fitted = fit_degree_sequence(
+            noisy_seq, noisy_ccdf, max_rank=len(truth) + 10, max_degree=max(truth) + 10
+        )
+        error = sum(
+            abs((fitted[i] if i < len(fitted) else 0) - truth[i]) for i in range(len(truth))
+        ) / len(truth)
+        raw_error = sum(abs(noisy_seq[i] - truth[i]) for i in range(len(truth))) / len(truth)
+        assert error < raw_error
+
+    def test_fitted_sequence_is_nonincreasing_and_nonnegative(self):
+        noise = LaplaceNoise(5)
+        noisy_seq = {i: max(0.0, 10 - i) + noise.sample(0.3) for i in range(20)}
+        noisy_ccdf = {i: max(0.0, 12 - i) + noise.sample(0.3) for i in range(15)}
+        fitted = fit_degree_sequence(noisy_seq, noisy_ccdf, max_rank=25, max_degree=20)
+        assert all(a >= b for a, b in zip(fitted, fitted[1:]))
+        assert all(value >= 0 for value in fitted)
+
+    def test_accepts_sequences_mappings_and_callables(self):
+        truth = [3, 2, 1]
+        ccdf = [3, 2, 1]
+        as_list = fit_degree_sequence(truth, ccdf, max_rank=5, max_degree=5)
+        as_dict = fit_degree_sequence(
+            dict(enumerate(truth)), dict(enumerate(ccdf)), max_rank=5, max_degree=5
+        )
+        as_callable = fit_degree_sequence(
+            lambda i: truth[i] if i < 3 else 0.0,
+            lambda i: ccdf[i] if i < 3 else 0.0,
+            max_rank=5,
+            max_degree=5,
+        )
+        assert as_list == as_dict == as_callable == truth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_degree_sequence([1], [1], max_rank=0, max_degree=5)
+        with pytest.raises(ValueError):
+            fit_degree_sequence([1], [1], max_rank=5, max_degree=-1)
+
+    def test_staircase_cost_zero_for_consistent_data(self):
+        degrees = [3, 2, 2]
+        sequence = {0: 3.0, 1: 2.0, 2: 2.0}
+        ccdf = {0: 3.0, 1: 3.0, 2: 1.0}
+        assert staircase_cost(degrees, sequence, ccdf) == pytest.approx(0.0)
+
+    def test_staircase_cost_penalises_mismatch(self):
+        degrees = [3, 2, 2]
+        sequence = {0: 3.0, 1: 2.0, 2: 2.0}
+        ccdf = {0: 3.0, 1: 3.0, 2: 1.0}
+        worse = staircase_cost([5, 5, 5], sequence, ccdf)
+        assert worse > staircase_cost(degrees, sequence, ccdf)
+
+    def test_path_fit_beats_isotonic_alone_on_average(self):
+        # The headline claim of Section 3.1's post-processing: using both the
+        # CCDF and the sequence beats using the sequence alone.  Averaged over
+        # several noise draws to avoid flakiness.
+        graph = erdos_renyi(50, 150, rng=2)
+        truth = degree_sequence(graph)
+        ccdf = degree_ccdf(graph)
+        joint_errors, iso_errors = [], []
+        for seed in range(5):
+            noise = LaplaceNoise(seed)
+            noisy_seq = {i: v + noise.sample(0.3) for i, v in enumerate(truth)}
+            noisy_ccdf = {i: v + noise.sample(0.3) for i, v in enumerate(ccdf)}
+            fitted = fit_degree_sequence(
+                noisy_seq, noisy_ccdf, max_rank=len(truth) + 5, max_degree=max(truth) + 5
+            )
+            iso = isotonic_regression([noisy_seq[i] for i in range(len(truth))])
+            joint_errors.append(
+                sum(abs((fitted[i] if i < len(fitted) else 0) - truth[i]) for i in range(len(truth)))
+            )
+            iso_errors.append(sum(abs(iso[i] - truth[i]) for i in range(len(truth))))
+        assert np.mean(joint_errors) <= np.mean(iso_errors) * 1.05

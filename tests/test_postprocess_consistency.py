@@ -1,0 +1,125 @@
+"""Tests for the cheap consistency projections of released measurements."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.postprocess import (
+    clamp_nonnegative,
+    consistent_triangle_total,
+    project_counts,
+    round_to_multiple,
+    symmetrize_pairs,
+)
+
+
+class TestClampNonnegative:
+    def test_negative_values_become_zero(self):
+        assert clamp_nonnegative({"a": -2.5, "b": 1.5}) == {"a": 0.0, "b": 1.5}
+
+    def test_empty_mapping(self):
+        assert clamp_nonnegative({}) == {}
+
+    @given(st.dictionaries(st.integers(), st.floats(allow_nan=False, allow_infinity=False, width=32)))
+    def test_never_increases_distance_to_any_nonnegative_truth(self, noisy):
+        # Projection onto a convex set containing the truth cannot hurt: check
+        # against the all-zeros truth, the simplest non-negative reference.
+        clamped = clamp_nonnegative(noisy)
+        raw_distance = sum(abs(value) for value in noisy.values())
+        clamped_distance = sum(abs(value) for value in clamped.values())
+        assert clamped_distance <= raw_distance + 1e-9
+
+
+class TestRoundToMultiple:
+    @pytest.mark.parametrize(
+        "value, multiple, expected",
+        [(7.4, 1.0, 7.0), (7.6, 1.0, 8.0), (-3.0, 1.0, 0.0), (14.0, 6.0, 12.0), (16.0, 6.0, 18.0)],
+    )
+    def test_examples(self, value, multiple, expected):
+        assert round_to_multiple(value, multiple) == expected
+
+    def test_multiple_must_be_positive(self):
+        with pytest.raises(ValueError):
+            round_to_multiple(3.0, 0.0)
+
+    @given(st.floats(min_value=-100, max_value=100), st.floats(min_value=0.5, max_value=10))
+    def test_result_is_a_nonnegative_multiple(self, value, multiple):
+        result = round_to_multiple(value, multiple)
+        assert result >= 0.0
+        assert abs(result / multiple - round(result / multiple)) < 1e-6
+
+
+class TestProjectCounts:
+    def test_combined_projection(self):
+        noisy = {"x": -0.4, "y": 2.4, "z": 0.2}
+        projected = project_counts(noisy, nonnegative=True, multiple=1.0)
+        assert projected == {"x": 0.0, "y": 2.0, "z": 0.0}
+
+    def test_drop_zeros(self):
+        noisy = {"x": -0.4, "y": 2.4}
+        projected = project_counts(noisy, multiple=1.0, drop_zeros=True)
+        assert projected == {"y": 2.0}
+
+    def test_no_constraints_is_identity_on_nonnegative_values(self):
+        noisy = {"x": 1.25, "y": 0.75}
+        assert project_counts(noisy, nonnegative=False) == noisy
+
+
+class TestSymmetrizePairs:
+    def test_mirror_cells_are_averaged(self):
+        values = {(1, 2): 4.0, (2, 1): 2.0, (3, 3): 5.0}
+        result = symmetrize_pairs(values)
+        assert result[(1, 2)] == pytest.approx(3.0)
+        assert result[(2, 1)] == pytest.approx(3.0)
+        assert result[(3, 3)] == pytest.approx(5.0)
+
+    def test_unpaired_cells_pass_through(self):
+        assert symmetrize_pairs({(1, 4): 2.0}) == {(1, 4): 2.0}
+
+    def test_non_pair_records_pass_through(self):
+        assert symmetrize_pairs({"total": 7.0}) == {"total": 7.0}
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            st.floats(min_value=-10, max_value=10),
+            max_size=12,
+        )
+    )
+    def test_result_is_symmetric_on_paired_cells(self, values):
+        result = symmetrize_pairs(values)
+        for (a, b), value in result.items():
+            if (b, a) in result:
+                assert result[(b, a)] == pytest.approx(value)
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            st.floats(min_value=-10, max_value=10),
+            max_size=12,
+        )
+    )
+    def test_total_mass_is_preserved_when_all_mirrors_present(self, values):
+        # Complete the mapping so every mirror exists, then averaging must
+        # preserve the grand total.
+        completed = dict(values)
+        for a, b in list(values):
+            completed.setdefault((b, a), 0.0)
+        result = symmetrize_pairs(completed)
+        assert sum(result.values()) == pytest.approx(sum(completed.values()), abs=1e-6)
+
+
+class TestConsistentTriangleTotal:
+    def test_negative_total_becomes_zero(self):
+        assert consistent_triangle_total(-11.3) == 0.0
+
+    def test_six_fold_observation_is_undone(self):
+        # A symmetric query observed each triangle six times; 47.9 observed
+        # occurrences are closest to 8 whole triangles.
+        assert consistent_triangle_total(47.9, occurrences=6.0) == 8.0
+
+    def test_occurrences_must_be_positive(self):
+        with pytest.raises(ValueError):
+            consistent_triangle_total(10.0, occurrences=0.0)

@@ -1,0 +1,186 @@
+"""Tests for the fluent query API and its privacy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrivacySession, WeightedDataset
+from repro.core.aggregation import NoisyCountResult
+from repro.exceptions import BudgetExceededError, PlanError
+
+
+@pytest.fixture()
+def visits_session():
+    session = PrivacySession(seed=0)
+    queryable = session.protect(
+        "visits",
+        [("ann", "cafe"), ("bob", "cafe"), ("bob", "deli"), ("carol", "deli")],
+        total_epsilon=2.0,
+    )
+    return session, queryable
+
+
+class TestProtect:
+    def test_protect_iterable_gives_unit_weights(self, visits_session):
+        session, queryable = visits_session
+        exact = queryable.evaluate_unprotected()
+        assert exact[("ann", "cafe")] == 1.0
+
+    def test_protect_mapping(self):
+        session = PrivacySession()
+        queryable = session.protect("scores", {"x": 0.5})
+        assert queryable.evaluate_unprotected()["x"] == 0.5
+
+    def test_protect_weighted_dataset(self):
+        session = PrivacySession()
+        dataset = WeightedDataset({"x": 0.5})
+        queryable = session.protect("scores", dataset)
+        assert queryable.evaluate_unprotected().distance(dataset) == 0.0
+
+    def test_duplicate_name_rejected(self, visits_session):
+        session, _ = visits_session
+        with pytest.raises(PlanError):
+            session.protect("visits", ["x"])
+
+    def test_record_weight_override(self):
+        session = PrivacySession()
+        queryable = session.protect("edges", ["e1"], record_weight=2.0)
+        assert queryable.evaluate_unprotected()["e1"] == 2.0
+
+    def test_dataset_accessor_and_errors(self, visits_session):
+        session, _ = visits_session
+        assert isinstance(session.dataset("visits"), WeightedDataset)
+        with pytest.raises(PlanError):
+            session.dataset("nope")
+
+    def test_from_plan_requires_registered_sources(self, visits_session):
+        session, queryable = visits_session
+        rebuilt = session.from_plan(queryable.plan)
+        assert rebuilt.source_uses() == {"visits": 1}
+        other = PrivacySession()
+        with pytest.raises(PlanError):
+            other.from_plan(queryable.plan)
+
+
+class TestTransformationChaining:
+    def test_select_where_chain(self, visits_session):
+        _, queryable = visits_session
+        stores = queryable.select(lambda visit: visit[1]).where(lambda store: store == "cafe")
+        assert stores.evaluate_unprotected()["cafe"] == 2.0
+
+    def test_chaining_returns_new_queryables(self, visits_session):
+        _, queryable = visits_session
+        selected = queryable.select(lambda visit: visit[0])
+        assert selected is not queryable
+        assert queryable.source_uses() == {"visits": 1}
+
+    def test_group_by_and_shave(self, visits_session):
+        _, queryable = visits_session
+        degrees = queryable.group_by(key=lambda visit: visit[0], reducer=len)
+        exact = degrees.evaluate_unprotected()
+        assert exact[("bob", 2)] == pytest.approx(0.5)
+        shaved = queryable.select(lambda visit: visit[1]).shave(1.0)
+        assert shaved.evaluate_unprotected()[("cafe", 1)] == pytest.approx(1.0)
+
+    def test_select_many(self, visits_session):
+        _, queryable = visits_session
+        people = queryable.select_many(lambda visit: [visit[0], visit[1]])
+        assert people.evaluate_unprotected()["bob"] == pytest.approx(1.0)
+
+    def test_binary_operators_require_same_session(self, visits_session):
+        _, queryable = visits_session
+        other_session = PrivacySession()
+        other = other_session.protect("other", ["x"])
+        with pytest.raises(PlanError):
+            queryable.concat(other)
+        with pytest.raises(PlanError):
+            queryable.union(other)
+        with pytest.raises(PlanError):
+            queryable.join(other, lambda x: x, lambda y: y)
+        with pytest.raises(PlanError):
+            queryable.concat("not a queryable")
+
+    def test_set_operators(self, visits_session):
+        _, queryable = visits_session
+        cafes = queryable.where(lambda visit: visit[1] == "cafe")
+        delis = queryable.where(lambda visit: visit[1] == "deli")
+        combined = cafes.concat(delis)
+        assert combined.evaluate_unprotected().total_weight() == pytest.approx(4.0)
+        nothing = cafes.intersect(delis)
+        assert nothing.evaluate_unprotected().is_empty()
+        minus = queryable.except_with(cafes)
+        assert minus.evaluate_unprotected()[("ann", "cafe")] == pytest.approx(0.0)
+
+
+class TestPrivacyAccounting:
+    def test_single_use_costs_epsilon(self, visits_session):
+        session, queryable = visits_session
+        queryable.noisy_count(0.25)
+        assert session.spent_budget("visits") == pytest.approx(0.25)
+
+    def test_self_join_costs_double(self, visits_session):
+        session, queryable = visits_session
+        pairs = queryable.join(queryable, lambda v: v[1], lambda v: v[1])
+        assert pairs.source_uses() == {"visits": 2}
+        assert pairs.privacy_cost(0.25) == {"visits": 0.5}
+        pairs.noisy_count(0.25)
+        assert session.spent_budget("visits") == pytest.approx(0.5)
+
+    def test_budget_enforced_before_measurement(self, visits_session):
+        session, queryable = visits_session
+        with pytest.raises(BudgetExceededError):
+            queryable.noisy_count(5.0)
+        # Nothing was spent by the refused measurement.
+        assert session.spent_budget("visits") == 0.0
+
+    def test_noisy_sum_charges_budget(self, visits_session):
+        session, queryable = visits_session
+        value = queryable.noisy_sum(0.5)
+        assert isinstance(value, float)
+        assert session.spent_budget("visits") == pytest.approx(0.5)
+
+    def test_budget_report(self, visits_session):
+        session, queryable = visits_session
+        queryable.noisy_count(0.5)
+        report = session.budget_report()["visits"]
+        assert report["total"] == 2.0
+        assert report["spent"] == pytest.approx(0.5)
+        assert report["remaining"] == pytest.approx(1.5)
+
+    def test_multiple_sources_charged_separately(self):
+        session = PrivacySession(seed=1)
+        left = session.protect("left", ["a", "b"], total_epsilon=1.0)
+        right = session.protect("right", ["a", "c"], total_epsilon=1.0)
+        joined = left.join(right, lambda x: x, lambda y: y)
+        joined.noisy_count(0.25)
+        assert session.spent_budget("left") == pytest.approx(0.25)
+        assert session.spent_budget("right") == pytest.approx(0.25)
+
+
+class TestNoisyCountBehaviour:
+    def test_returns_result_with_plan(self, visits_session):
+        _, queryable = visits_session
+        result = queryable.noisy_count(0.5, query_name="raw")
+        assert isinstance(result, NoisyCountResult)
+        assert result.plan is queryable.plan
+        assert result.query_name == "raw"
+
+    def test_measurement_noise_scale(self):
+        # With a huge epsilon the measurement is essentially exact.
+        session = PrivacySession(seed=0)
+        queryable = session.protect("visits", [("ann", "cafe")], total_epsilon=float("inf"))
+        result = queryable.noisy_count(1e6)
+        assert result[("ann", "cafe")] == pytest.approx(1.0, abs=1e-3)
+
+    def test_seeded_sessions_reproduce_measurements(self):
+        def measure(seed):
+            session = PrivacySession(seed=seed)
+            q = session.protect("d", ["a", "b"])
+            return q.noisy_count(0.5).to_dict()
+
+        assert measure(7) == measure(7)
+        assert measure(7) != measure(8)
+
+    def test_repr(self, visits_session):
+        _, queryable = visits_session
+        assert "visits" in repr(queryable)

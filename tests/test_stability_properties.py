@@ -1,0 +1,150 @@
+"""Property-based tests of transformation stability (Definition 2).
+
+Stability — ``‖T(A) − T(A')‖ ≤ ‖A − A'‖`` for unary transformations and
+``‖T(A,B) − T(A',B')‖ ≤ ‖A − A'‖ + ‖B − B'‖`` for binary ones — is the single
+property that makes the whole platform differentially private (Theorem 1).
+These tests exercise it on randomly generated non-negative weighted datasets
+for every operator the library ships.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WeightedDataset
+from repro.core import transformations as xf
+
+from conftest import weighted_datasets
+
+TOLERANCE = 1e-7
+
+
+def assert_unary_stable(transform, a, a_prime):
+    distance_in = a.distance(a_prime)
+    distance_out = transform(a).distance(transform(a_prime))
+    assert distance_out <= distance_in + TOLERANCE
+
+
+def assert_binary_stable(transform, a, a_prime, b, b_prime):
+    distance_in = a.distance(a_prime) + b.distance(b_prime)
+    distance_out = transform(a, b).distance(transform(a_prime, b_prime))
+    assert distance_out <= distance_in + TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# Unary operators
+# ----------------------------------------------------------------------
+@given(weighted_datasets(), weighted_datasets())
+def test_select_is_stable(a, a_prime):
+    assert_unary_stable(lambda d: xf.select(d, lambda x: hash(x) % 3), a, a_prime)
+
+
+@given(weighted_datasets(), weighted_datasets())
+def test_where_is_stable(a, a_prime):
+    assert_unary_stable(lambda d: xf.where(d, lambda x: hash(x) % 2 == 0), a, a_prime)
+
+
+@given(weighted_datasets(), weighted_datasets())
+def test_select_many_is_stable(a, a_prime):
+    def mapper(record):
+        # Variable-length output depending on the record, the case worst-case
+        # sensitivity analyses cannot handle.
+        return [f"{record}-{i}" for i in range(1 + hash(record) % 4)]
+
+    assert_unary_stable(lambda d: xf.select_many(d, mapper), a, a_prime)
+
+
+@given(weighted_datasets(), weighted_datasets())
+def test_shave_is_stable(a, a_prime):
+    assert_unary_stable(lambda d: xf.shave(d, 0.75), a, a_prime)
+
+
+@given(weighted_datasets(), weighted_datasets())
+@settings(deadline=None)
+def test_group_by_is_stable(a, a_prime):
+    assert_unary_stable(
+        lambda d: xf.group_by(d, lambda x: hash(x) % 2, reducer=len), a, a_prime
+    )
+
+
+@given(weighted_datasets(), weighted_datasets())
+def test_composition_of_unary_operators_is_stable(a, a_prime):
+    def pipeline(dataset):
+        step1 = xf.select_many(dataset, lambda x: [x, f"{x}!"])
+        step2 = xf.where(step1, lambda x: True)
+        return xf.select(step2, lambda x: str(x)[:1])
+
+    assert_unary_stable(pipeline, a, a_prime)
+
+
+# ----------------------------------------------------------------------
+# Binary operators
+# ----------------------------------------------------------------------
+@given(weighted_datasets(), weighted_datasets(), weighted_datasets(), weighted_datasets())
+def test_union_is_stable(a, a_prime, b, b_prime):
+    assert_binary_stable(xf.union, a, a_prime, b, b_prime)
+
+
+@given(weighted_datasets(), weighted_datasets(), weighted_datasets(), weighted_datasets())
+def test_intersect_is_stable(a, a_prime, b, b_prime):
+    assert_binary_stable(xf.intersect, a, a_prime, b, b_prime)
+
+
+@given(weighted_datasets(), weighted_datasets(), weighted_datasets(), weighted_datasets())
+def test_concat_is_stable(a, a_prime, b, b_prime):
+    assert_binary_stable(xf.concat, a, a_prime, b, b_prime)
+
+
+@given(weighted_datasets(), weighted_datasets(), weighted_datasets(), weighted_datasets())
+def test_except_is_stable(a, a_prime, b, b_prime):
+    assert_binary_stable(xf.except_, a, a_prime, b, b_prime)
+
+
+@given(weighted_datasets(), weighted_datasets(), weighted_datasets(), weighted_datasets())
+@settings(deadline=None)
+def test_join_is_stable(a, a_prime, b, b_prime):
+    def join(left, right):
+        return xf.join(left, right, lambda x: hash(x) % 2, lambda y: hash(y) % 2)
+
+    assert_binary_stable(join, a, a_prime, b, b_prime)
+
+
+@given(weighted_datasets(), weighted_datasets())
+@settings(deadline=None)
+def test_self_join_changes_output_by_at_most_twice_the_input_change(a, a_prime):
+    """A self-join reveals its one input twice, hence the factor-two bound."""
+
+    def self_join(dataset):
+        return xf.join(dataset, dataset, lambda x: hash(x) % 2, lambda y: hash(y) % 2)
+
+    distance_in = a.distance(a_prime)
+    distance_out = self_join(a).distance(self_join(a_prime))
+    assert distance_out <= 2.0 * distance_in + TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# Weighted-dataset specific sanity properties
+# ----------------------------------------------------------------------
+@given(weighted_datasets())
+def test_select_preserves_total_weight(a):
+    assert xf.select(a, lambda x: hash(x) % 5).total_weight() <= a.total_weight() + TOLERANCE
+
+
+@given(weighted_datasets())
+def test_select_many_never_amplifies_weight(a):
+    result = xf.select_many(a, lambda x: [f"{x}-{i}" for i in range(3)])
+    assert result.total_weight() <= a.total_weight() + TOLERANCE
+
+
+@given(weighted_datasets(), weighted_datasets())
+def test_join_output_no_larger_than_smaller_input(a, b):
+    result = xf.join(a, b, lambda x: 0, lambda y: 0)
+    assert result.total_weight() <= min(a.total_weight(), b.total_weight()) + TOLERANCE
+
+
+@given(weighted_datasets())
+def test_shave_preserves_total_weight_of_nonnegative_datasets(a):
+    assert xf.shave(a, 1.0).total_weight() == __import__("pytest").approx(
+        a.total_weight(), abs=1e-6
+    )

@@ -10,10 +10,15 @@ The package is organised as follows:
 
 ``repro.core``
     Weighted datasets, stable transformations, the fluent wPINQ query
-    language, Laplace aggregation and privacy-budget accounting.
+    language, Laplace aggregation and privacy-budget accounting — plus the
+    unified execution layer: every measurement runs through an
+    :class:`~repro.core.executor.Executor` (eager-memoising or incremental
+    dataflow), and ``PrivacySession.measure`` batches many measurements with
+    atomic budget charging and shared-sub-plan reuse.
 ``repro.dataflow``
-    The incremental (view-maintenance style) query evaluation engine that
-    makes MCMC over synthetic datasets fast.
+    The incremental (view-maintenance style) query evaluation engine behind
+    the ``"dataflow"`` executor backend; it makes MCMC over synthetic
+    datasets fast and keeps compiled plans warm across measurements.
 ``repro.graph``
     Graph substrate: data structures, statistics, generators and the
     synthetic stand-ins for the paper's evaluation graphs.
@@ -37,7 +42,12 @@ The package is organised as follows:
 """
 
 from .core import (
+    DataflowExecutor,
+    EagerExecutor,
+    Executor,
     LaplaceNoise,
+    MeasurementRequest,
+    MeasurementSet,
     NoisyCountResult,
     PrivacySession,
     Queryable,
@@ -58,6 +68,11 @@ __all__ = [
     "WeightedDataset",
     "PrivacySession",
     "Queryable",
+    "Executor",
+    "EagerExecutor",
+    "DataflowExecutor",
+    "MeasurementRequest",
+    "MeasurementSet",
     "NoisyCountResult",
     "LaplaceNoise",
     "ReproError",

@@ -16,7 +16,7 @@ from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
 from ..graph.graph import Graph
 from ..graph.statistics import iter_triangles
-from .common import length_two_paths
+from .common import shared_query, length_two_paths
 from .triangles import triangles_by_intersect_query
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
 WEDGE_EDGE_USES = 2
 
 
+@shared_query
 def wedges_query(edges: Queryable) -> Queryable:
     """A single record carrying the total weight of all length-two paths.
 

@@ -10,13 +10,17 @@ subgraph-counting queries share.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import functools
+import inspect
+from typing import Any, Callable, Sequence
+from weakref import WeakKeyDictionary
 
 from ..core.queryable import PrivacySession, Queryable
 from ..graph.graph import Graph
 
 __all__ = [
     "protect_graph",
+    "shared_query",
     "symmetrize",
     "reverse_edge",
     "rotate",
@@ -25,6 +29,46 @@ __all__ = [
     "nodes_from_edges",
     "length_two_paths",
 ]
+
+
+# Per-queryable cache used by @shared_query, keyed weakly so dropping the last
+# reference to a protected queryable also drops its derived queries.
+_SHARED_QUERIES: "WeakKeyDictionary[Queryable, dict]" = WeakKeyDictionary()
+
+
+def shared_query(builder: Callable[..., Queryable]) -> Callable[..., Queryable]:
+    """Memoise a query builder per source queryable so plans are shared.
+
+    Plans are compared by *identity* throughout the platform: the eager
+    executor memoises by node id and the dataflow engine compiles one operator
+    graph per node object.  Decorating the analysis builders makes repeated
+    calls such as ``length_two_paths(edges)`` — which TbD, TbI and the wedge
+    query all issue internally — return the *same* queryable, so a batched
+    measurement of several analyses evaluates the shared sub-plan exactly
+    once.
+
+    Sharing plan objects never changes privacy accounting: Section 2.3 counts
+    root-to-source *paths*, so each measurement is still charged the full
+    multiplicity of its own plan.
+    """
+
+    signature = inspect.signature(builder)
+
+    @functools.wraps(builder)
+    def wrapper(*args: Any, **kwargs: Any) -> Queryable:
+        # Bind with defaults applied so `f(q)`, `f(q, 1)`, `f(q, x=1)` and
+        # keyword invocations like `f(edges=q)` all hit the same cache entry.
+        bound = signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        arguments = list(bound.arguments.items())
+        queryable = arguments[0][1]
+        cache = _SHARED_QUERIES.setdefault(queryable, {})
+        key = (builder.__module__, builder.__qualname__) + tuple(arguments[1:])
+        if key not in cache:
+            cache[key] = builder(*args, **kwargs)
+        return cache[key]
+
+    return wrapper
 
 
 def protect_graph(
@@ -49,6 +93,7 @@ def reverse_edge(edge: Sequence[Any]) -> tuple[Any, Any]:
     return (edge[1], edge[0])
 
 
+@shared_query
 def symmetrize(edges: Queryable) -> Queryable:
     """Turn a one-record-per-undirected-edge dataset into a symmetric one.
 
@@ -70,6 +115,7 @@ def sorted_degrees(degrees: Sequence[int]) -> tuple[int, ...]:
     return tuple(sorted(degrees))
 
 
+@shared_query
 def node_degrees(edges: Queryable, bucket: int = 1) -> Queryable:
     """The ``(vertex, degree)`` dataset of Section 2.5, each of weight 0.5.
 
@@ -87,6 +133,7 @@ def node_degrees(edges: Queryable, bucket: int = 1) -> Queryable:
     return edges.group_by(key=lambda edge: edge[0], reducer=reducer)
 
 
+@shared_query
 def nodes_from_edges(edges: Queryable) -> Queryable:
     """The dataset of graph nodes, each with weight 0.5 (Section 2.8).
 
@@ -104,6 +151,7 @@ def nodes_from_edges(edges: Queryable) -> Queryable:
     )
 
 
+@shared_query
 def length_two_paths(edges: Queryable) -> Queryable:
     """All non-degenerate length-two paths ``(a, b, c)``, weight ``1/(2·d_b)``.
 

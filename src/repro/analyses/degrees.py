@@ -32,11 +32,13 @@ __all__ = [
     "measure_degree_ccdf",
     "measure_degree_sequence",
     "measure_node_count",
+    "node_count_from_measurement",
 ]
 
-from .common import nodes_from_edges
+from .common import shared_query, nodes_from_edges
 
 
+@shared_query
 def degree_ccdf_query(edges: Queryable) -> Queryable:
     """The degree CCDF as a wPINQ query over the symmetric edge set.
 
@@ -54,6 +56,7 @@ def degree_ccdf_query(edges: Queryable) -> Queryable:
     )
 
 
+@shared_query
 def degree_sequence_query(edges: Queryable) -> Queryable:
     """The non-increasing degree sequence as a wPINQ query.
 
@@ -70,6 +73,7 @@ def degree_sequence_query(edges: Queryable) -> Queryable:
     )
 
 
+@shared_query
 def node_count_query(edges: Queryable) -> Queryable:
     """A single record ``"node"`` whose weight is half the number of nodes.
 
@@ -91,7 +95,16 @@ def measure_degree_sequence(edges: Queryable, epsilon: float) -> NoisyCountResul
     return degree_sequence_query(edges).noisy_count(epsilon, query_name="degree_sequence")
 
 
+def node_count_from_measurement(result: NoisyCountResult) -> float:
+    """Turn a released :func:`node_count_query` half-count into a node estimate.
+
+    Nodes carry weight 0.5 (Section 2.8), so the estimate doubles the released
+    value of the single ``"node"`` record.
+    """
+    return 2.0 * result.value("node")
+
+
 def measure_node_count(edges: Queryable, epsilon: float) -> float:
     """Estimate the number of nodes: twice the released half-count."""
     result = node_count_query(edges).noisy_count(epsilon, query_name="node_count")
-    return 2.0 * result.value("node")
+    return node_count_from_measurement(result)

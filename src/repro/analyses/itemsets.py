@@ -21,6 +21,7 @@ from typing import Any, Iterable, Sequence
 
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import PrivacySession, Queryable
+from .common import shared_query
 
 __all__ = [
     "protect_baskets",
@@ -48,6 +49,7 @@ def protect_baskets(
     return session.protect(name, records, total_epsilon)
 
 
+@shared_query
 def itemsets_query(baskets: Queryable, size: int) -> Queryable:
     """All size-``size`` itemsets, weighted by attenuated basket support.
 

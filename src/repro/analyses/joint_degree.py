@@ -16,7 +16,7 @@ from typing import Any
 
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
-from .common import node_degrees, reverse_edge
+from .common import shared_query, node_degrees, reverse_edge
 
 __all__ = [
     "joint_degree_query",
@@ -26,6 +26,7 @@ __all__ = [
 ]
 
 
+@shared_query
 def joint_degree_query(edges: Queryable) -> Queryable:
     """The JDD as a wPINQ query over the symmetric directed edge set.
 

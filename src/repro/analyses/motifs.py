@@ -24,7 +24,7 @@ from typing import Any, Mapping
 
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
-from .common import length_two_paths, node_degrees, rotate
+from .common import shared_query, length_two_paths, node_degrees, rotate
 
 __all__ = [
     "paths_query",
@@ -37,6 +37,7 @@ __all__ = [
 ]
 
 
+@shared_query
 def paths_query(edges: Queryable, length: int) -> Queryable:
     """All directed paths with ``length`` edges and no immediate backtracking.
 
@@ -64,6 +65,7 @@ def paths_query(edges: Queryable, length: int) -> Queryable:
     return extended.where(lambda path: path[-1] != path[-3])
 
 
+@shared_query
 def cycles_by_intersect_query(edges: Queryable, cycle_length: int) -> Queryable:
     """A single-record query whose weight reflects the number of ``k``-cycles.
 
@@ -102,6 +104,7 @@ def edge_uses_for_cycles(cycle_length: int) -> int:
 STAR_EDGE_USES = 1
 
 
+@shared_query
 def star_degree_query(edges: Queryable) -> Queryable:
     """The per-vertex degree dataset that underlies ``k``-star counting.
 

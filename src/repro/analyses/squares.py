@@ -21,7 +21,7 @@ from ..core.laplace import LaplaceNoise, validate_epsilon
 from ..core.queryable import Queryable
 from ..graph.graph import Graph
 from ..graph.statistics import squares_by_degree as exact_squares_by_degree
-from .common import length_two_paths, node_degrees, rotate, sorted_degrees
+from .common import shared_query, length_two_paths, node_degrees, rotate, sorted_degrees
 
 __all__ = [
     "squares_by_degree_query",
@@ -36,6 +36,7 @@ __all__ = [
 SBD_EDGE_USES = 12
 
 
+@shared_query
 def squares_by_degree_query(edges: Queryable) -> Queryable:
     """The SbD query: sorted degree quadruples of every 4-cycle.
 

@@ -30,7 +30,7 @@ from ..core.laplace import LaplaceNoise, validate_epsilon
 from ..core.queryable import Queryable
 from ..graph.graph import Graph
 from ..graph.statistics import triangles_by_degree as exact_triangles_by_degree
-from .common import length_two_paths, node_degrees, rotate, sorted_degrees
+from .common import shared_query, length_two_paths, node_degrees, rotate, sorted_degrees
 
 __all__ = [
     "triangles_by_degree_query",
@@ -55,6 +55,7 @@ TBI_EDGE_USES = 4
 # ----------------------------------------------------------------------
 # Triangles by Degree (TbD)
 # ----------------------------------------------------------------------
+@shared_query
 def triangles_by_degree_query(edges: Queryable, bucket: int = 1) -> Queryable:
     """The TbD query: sorted degree triples weighted per equation (4).
 
@@ -167,6 +168,7 @@ def theorem2_mechanism(
 # ----------------------------------------------------------------------
 # Triangles by Intersect (TbI)
 # ----------------------------------------------------------------------
+@shared_query
 def triangles_by_intersect_query(edges: Queryable) -> Queryable:
     """The TbI query: one record ``"triangle"`` carrying equation (8)'s weight.
 

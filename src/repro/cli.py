@@ -11,6 +11,12 @@ produced from the shell without writing any Python::
 and MCMC lengths exactly like the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_STEPS``
 environment variables used by the benchmark suite; ``--epsilon``, ``--pow``
 and ``--seed`` override the corresponding experiment parameters.
+
+The introspection half of the query API is also exposed::
+
+    python -m repro explain            # list the named queries
+    python -m repro explain tbd        # plan tree + per-source multiplicities
+    python -m repro explain jdd --epsilon 0.1
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from .experiments import (
     table3_barabasi,
 )
 
-__all__ = ["main", "build_parser", "EXPERIMENTS"]
+__all__ = ["main", "build_parser", "EXPERIMENTS", "EXPLAIN_QUERIES"]
 
 
 def _run_figure1(config: ExperimentConfig) -> str:
@@ -192,6 +198,62 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
 }
 
 
+#: Named queries available to ``repro explain``: name -> (description, builder).
+EXPLAIN_QUERIES: dict[str, tuple[str, Callable]] = {}
+
+
+def _register_explain_queries() -> None:
+    """Populate EXPLAIN_QUERIES lazily (analyses import graph machinery)."""
+    if EXPLAIN_QUERIES:
+        return
+    from . import analyses
+
+    EXPLAIN_QUERIES.update(
+        {
+            "degree-ccdf": ("degree CCDF (Section 3.1)", analyses.degree_ccdf_query),
+            "degree-sequence": (
+                "non-increasing degree sequence (Section 3.1)",
+                analyses.degree_sequence_query,
+            ),
+            "node-count": ("half node count (Section 2.8)", analyses.node_count_query),
+            "jdd": ("joint degree distribution (Section 3.2)", analyses.joint_degree_query),
+            "tbd": ("triangles by degree (Section 3.3)", analyses.triangles_by_degree_query),
+            "tbi": ("triangles by intersect (Section 5.3)", analyses.triangles_by_intersect_query),
+            "wedges": ("wedge count", analyses.wedges_query),
+            "sbd": ("squares by degree", analyses.squares_by_degree_query),
+            "stars": ("star degree histogram", analyses.star_degree_query),
+        }
+    )
+
+
+def _run_explain(query: str | None, epsilon: float | None) -> int:
+    """Print the plan tree of a named analysis query (``repro explain``)."""
+    from .core import PrivacySession
+
+    _register_explain_queries()
+    if query is None:
+        width = max(len(name) for name in EXPLAIN_QUERIES)
+        print("usage: repro explain <query> [--epsilon E]\n\navailable queries:")
+        for name in sorted(EXPLAIN_QUERIES):
+            description, _ = EXPLAIN_QUERIES[name]
+            print(f"  {name.ljust(width)}  {description}")
+        return 0
+    if query not in EXPLAIN_QUERIES:
+        print(
+            f"unknown query {query!r}; run 'repro explain' for the list",
+            file=sys.stderr,
+        )
+        return 2
+    description, builder = EXPLAIN_QUERIES[query]
+    # The plan is data-independent, so an empty protected dataset suffices.
+    session = PrivacySession()
+    edges = session.protect("edges", [])
+    queryable = builder(edges)
+    print(f"{query} — {description}\n")
+    print(queryable.explain(epsilon))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -200,8 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="which experiment to run ('list' to enumerate, 'all' for everything)",
+        choices=sorted(EXPERIMENTS) + ["list", "all", "explain"],
+        help=(
+            "which experiment to run ('list' to enumerate, 'all' for "
+            "everything, 'explain' to print a query plan)"
+        ),
+    )
+    parser.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="query name for 'explain' (omit to list the available queries)",
     )
     parser.add_argument("--scale", type=float, default=None, help="graph-size multiplier")
     parser.add_argument("--steps", type=float, default=None, help="MCMC step multiplier")
@@ -231,6 +302,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment == "explain":
+        return _run_explain(args.query, args.epsilon)
+    if args.query is not None:
+        parser.error(f"unexpected argument {args.query!r} (only 'explain' takes a query)")
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

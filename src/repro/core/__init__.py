@@ -3,6 +3,13 @@
 The public surface is re-exported here so that typical analyst code only needs
 
     from repro.core import PrivacySession, WeightedDataset
+
+Execution is unified behind the :class:`Executor` protocol: every measurement
+— single ``noisy_count`` calls and batched :meth:`PrivacySession.measure`
+requests alike — is evaluated by the session's executor, either the eager
+memoising backend (:class:`EagerExecutor`) or the incremental dataflow engine
+(:class:`DataflowExecutor`).  Batches charge all privacy budgets atomically up
+front and evaluate sub-plans shared between requests exactly once.
 """
 
 from .aggregation import (
@@ -14,7 +21,9 @@ from .aggregation import (
 )
 from .budget import BudgetLedger, PrivacyBudget
 from .dataset import WeightedDataset
+from .executor import DataflowExecutor, EagerExecutor, Executor, create_executor
 from .laplace import LaplaceNoise, laplace_density, laplace_log_density, validate_epsilon
+from .measurement import MeasurementRequest, MeasurementSet
 from .plan import (
     ConcatPlan,
     DistinctPlan,
@@ -30,6 +39,7 @@ from .plan import (
     SourcePlan,
     UnionPlan,
     WherePlan,
+    explain_plan,
 )
 from .queryable import PrivacySession, Queryable
 from .partition import Partition, PartitionGroup, PartitionPlan, PartQueryable
@@ -39,6 +49,13 @@ __all__ = [
     "WeightedDataset",
     "PrivacySession",
     "Queryable",
+    "Executor",
+    "EagerExecutor",
+    "DataflowExecutor",
+    "create_executor",
+    "MeasurementRequest",
+    "MeasurementSet",
+    "explain_plan",
     "NoisyCountResult",
     "PrivacyBudget",
     "BudgetLedger",

@@ -72,10 +72,10 @@ class PartitionPlan(Plan):
         part_key = self.part_key
         return lambda record: key(record) == part_key
 
-    def _evaluate(self, environment, memo):
+    def _evaluate(self, executor):
         from . import transformations as xf
 
-        return xf.where(self.child.evaluate(environment, memo), self.part_predicate)
+        return xf.where(executor.recurse(self.child), self.part_predicate)
 
     def _label(self) -> str:
         return f"Partition(part={self.part_key!r})"
@@ -134,48 +134,70 @@ class PartitionGroup:
         insufficient, nothing is charged and nothing is recorded.  Returns the
         per-source amounts actually charged.
         """
-        epsilon = validate_epsilon(epsilon)
-        direct, arrivals = self._attribute(plan)
-
-        costs: dict[str, float] = {
-            name: count * epsilon for name, count in direct.items()
-        }
-
-        # Work out how much this measurement raises the group's max.
-        pending = dict(self._part_epsilon)
-        for part_key, paths in arrivals.items():
-            pending[part_key] = pending.get(part_key, 0.0) + paths * epsilon
-        old_max = max(self._part_epsilon.values(), default=0.0)
-        new_max = max(pending.values(), default=0.0)
-        increase = max(0.0, new_max - old_max)
-        if increase > 0.0:
-            for name, multiplicity in self._parent_multiplicities.items():
-                extra = increase * multiplicity
-                costs[name] = costs.get(name, 0.0) + extra
-
-        costs = {name: cost for name, cost in costs.items() if cost > 0.0}
+        direct, pending, group_costs = self.pending_batch([(plan, epsilon)])
+        costs = self._merge_costs(direct, group_costs)
         if costs:
             self._session.ledger.charge(costs, description=description)
         # Only commit part totals once the ledger accepted the charge.
+        self.commit_pending(pending, costs)
+        return costs
+
+    # ------------------------------------------------------------------
+    def pending_batch(
+        self,
+        measurements: Iterable[tuple[Plan, float]],
+    ) -> tuple[Counter, dict[Any, float], dict[str, float]]:
+        """Cost a batch of measurements over this group without charging.
+
+        Returns ``(direct_costs, pending_part_epsilon, group_costs)``: the
+        summed ``ε × direct uses`` charges, the part-ε totals the batch would
+        leave behind, and the per-source charge for the resulting increase of
+        the group maximum.  Nothing is committed; the caller charges the
+        ledger atomically and then hands ``pending_part_epsilon`` (plus the
+        total charged) to :meth:`commit_pending`.
+        """
+        direct_total: Counter = Counter()
+        pending = dict(self._part_epsilon)
+        for plan, epsilon in measurements:
+            epsilon = validate_epsilon(epsilon)
+            direct, arrivals = self._attribute(plan)
+            for name, count in direct.items():
+                direct_total[name] += count * epsilon
+            for part_key, paths in arrivals.items():
+                pending[part_key] = pending.get(part_key, 0.0) + paths * epsilon
+        old_max = max(self._part_epsilon.values(), default=0.0)
+        new_max = max(pending.values(), default=0.0)
+        increase = max(0.0, new_max - old_max)
+        group_costs: dict[str, float] = {}
+        if increase > 0.0:
+            for name, multiplicity in self._parent_multiplicities.items():
+                group_costs[name] = increase * multiplicity
+        return direct_total, pending, group_costs
+
+    def commit_pending(
+        self, pending: dict[Any, float], costs: dict[str, float]
+    ) -> None:
+        """Record a batch's part-ε totals and charged amounts.
+
+        Called only after the session ledger accepted the (atomic) charge.
+        """
         self._part_epsilon = pending
         for name, cost in costs.items():
             self._charged[name] = self._charged.get(name, 0.0) + cost
-        return costs
 
     def preview_cost(self, plan: Plan, epsilon: float) -> dict[str, float]:
         """The per-source charge a measurement *would* incur, without charging."""
-        epsilon = validate_epsilon(epsilon)
-        direct, arrivals = self._attribute(plan)
-        costs: dict[str, float] = {
-            name: count * epsilon for name, count in direct.items()
-        }
-        pending = dict(self._part_epsilon)
-        for part_key, paths in arrivals.items():
-            pending[part_key] = pending.get(part_key, 0.0) + paths * epsilon
-        increase = max(0.0, max(pending.values(), default=0.0) - self.max_epsilon())
-        if increase > 0.0:
-            for name, multiplicity in self._parent_multiplicities.items():
-                costs[name] = costs.get(name, 0.0) + increase * multiplicity
+        direct, _pending, group_costs = self.pending_batch([(plan, epsilon)])
+        return self._merge_costs(direct, group_costs)
+
+    @staticmethod
+    def _merge_costs(
+        direct: Counter, group_costs: dict[str, float]
+    ) -> dict[str, float]:
+        """Sum direct and max-increase charges, dropping zero entries."""
+        costs: dict[str, float] = dict(group_costs)
+        for name, cost in direct.items():
+            costs[name] = costs.get(name, 0.0) + cost
         return {name: cost for name, cost in costs.items() if cost > 0.0}
 
     # ------------------------------------------------------------------
@@ -260,13 +282,22 @@ class Partition:
         """Measure every part at ``epsilon`` and return ``{part_key: result}``.
 
         Thanks to parallel composition the whole sweep costs each protected
-        source the same as a single measurement of the un-partitioned query.
+        source the same as a single measurement of the un-partitioned query;
+        issued as one :meth:`PrivacySession.measure` batch, so the shared
+        parent plan is also *evaluated* only once.
         """
-        results = {}
-        for part_key, part in self._parts.items():
-            label = f"{query_name or 'partition'}[{part_key!r}]"
-            results[part_key] = part.noisy_count(epsilon, query_name=label)
-        return results
+        part_keys = list(self._parts)
+        results = self._session.measure(
+            *[
+                (
+                    self._parts[part_key],
+                    epsilon,
+                    f"{query_name or 'partition'}[{part_key!r}]",
+                )
+                for part_key in part_keys
+            ]
+        )
+        return dict(zip(part_keys, results))
 
 
 # Imported late so that PartQueryable can subclass Queryable without creating
@@ -308,18 +339,12 @@ class PartQueryable(Queryable):
     def noisy_count(self, epsilon: float, query_name: str = "") -> NoisyCountResult:
         """Release every record's weight with ``Laplace(1/ε)`` noise.
 
-        Charged through the partition group's max-accounting.
+        Charged through the partition group's max-accounting; like every
+        measurement this is a one-element :meth:`PrivacySession.measure`
+        batch, which recognises part queryables and applies parallel
+        composition.
         """
-        label = query_name or f"partition noisy_count(eps={epsilon:g})"
-        self._group.charge_measurement(self._plan, epsilon, description=label)
-        exact = self._plan.evaluate(self._session.environment())
-        return NoisyCountResult(
-            exact,
-            epsilon,
-            noise=self._session.noise,
-            plan=self._plan,
-            query_name=query_name,
-        )
+        return self._session.measure((self, epsilon, query_name))[0]
 
     def noisy_sum(
         self,
@@ -331,7 +356,7 @@ class PartQueryable(Queryable):
         """Release a single clamped, weighted sum with Laplace noise."""
         label = query_name or f"partition noisy_sum(eps={epsilon:g})"
         self._group.charge_measurement(self._plan, epsilon, description=label)
-        exact = self._plan.evaluate(self._session.environment())
+        exact = self._session.executor.evaluate(self._plan)
         return _noisy_sum(
             exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
         )

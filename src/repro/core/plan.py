@@ -3,19 +3,21 @@
 A wPINQ query is a DAG of stable transformations rooted at one or more
 protected sources.  :class:`Plan` nodes capture that DAG so the platform can
 
-* evaluate the query eagerly against the protected data when a measurement is
-  taken (:meth:`Plan.evaluate`),
+* be evaluated by an execution backend (:mod:`repro.core.executor`) — either
+  the eager :class:`~repro.core.executor.EagerExecutor` or the incremental
+  dataflow engine (:mod:`repro.dataflow.engine`),
 * count how many times each protected source appears in the query
   (:meth:`Plan.source_multiplicities`) — the static analysis from Section 2.3
   that turns an ``ε``-DP aggregation into a ``k·ε`` charge for a source used
   ``k`` times, and
-* be compiled into the incremental dataflow graph used by the MCMC engine
-  (:mod:`repro.dataflow.engine`).
+* render itself for introspection (:meth:`Plan.describe`,
+  :func:`explain_plan`).
 
 Plans are shared, immutable, and compared by identity: the expression
-``temp.join(temp, ...)`` reuses a single plan object on both sides, which both
-the eager evaluator (via memoisation) and the dataflow compiler (via node
-reuse) exploit.
+``temp.join(temp, ...)`` reuses a single plan object on both sides, which
+every backend exploits — the eager executor via memoisation, the dataflow
+compiler via node reuse.  :meth:`Plan.evaluate` remains as a thin
+compatibility wrapper over a one-shot eager executor.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from . import transformations as xf
 
 __all__ = [
     "Plan",
+    "explain_plan",
     "SourcePlan",
     "SelectPlan",
     "WherePlan",
@@ -59,22 +62,22 @@ class Plan:
     ) -> WeightedDataset:
         """Evaluate the plan against concrete datasets for every source.
 
-        ``environment`` maps source names to :class:`WeightedDataset` values.
-        Shared sub-plans are evaluated once thanks to the ``memo`` cache keyed
-        by plan identity.
+        Compatibility wrapper over a one-shot
+        :class:`~repro.core.executor.EagerExecutor`; shared sub-plans are
+        evaluated once thanks to the memo cache keyed by plan identity.  Code
+        that evaluates many plans (or the same plan repeatedly) should hold an
+        executor instead.
         """
-        if memo is None:
-            memo = {}
-        key = id(self)
-        if key not in memo:
-            memo[key] = self._evaluate(environment, memo)
-        return memo[key]
+        from .executor import EagerExecutor
 
-    def _evaluate(
-        self,
-        environment: dict[str, WeightedDataset],
-        memo: dict[int, WeightedDataset],
-    ) -> WeightedDataset:
+        return EagerExecutor(environment, memo=memo).recurse(self)
+
+    def _evaluate(self, executor) -> WeightedDataset:
+        """Compute this node's output given an eager execution context.
+
+        ``executor`` provides ``recurse(child)`` for memoised child evaluation
+        and ``dataset(name)`` for source resolution.
+        """
         raise NotImplementedError
 
     def source_multiplicities(self) -> Counter:
@@ -124,17 +127,8 @@ class SourcePlan(Plan):
             raise PlanError("source name must be a non-empty string")
         self.name = name
 
-    def _evaluate(self, environment, memo):
-        try:
-            dataset = environment[self.name]
-        except KeyError as exc:
-            raise PlanError(f"no dataset bound for source {self.name!r}") from exc
-        if not isinstance(dataset, WeightedDataset):
-            raise PlanError(
-                f"source {self.name!r} must be bound to a WeightedDataset, "
-                f"got {type(dataset).__name__}"
-            )
-        return dataset
+    def _evaluate(self, executor):
+        return executor.dataset(self.name)
 
     def _accumulate_sources(self, counts: Counter) -> None:
         counts[self.name] += 1
@@ -160,8 +154,8 @@ class SelectPlan(_UnaryPlan):
         super().__init__(child)
         self.mapper = mapper
 
-    def _evaluate(self, environment, memo):
-        return xf.select(self.child.evaluate(environment, memo), self.mapper)
+    def _evaluate(self, executor):
+        return xf.select(executor.recurse(self.child), self.mapper)
 
 
 class WherePlan(_UnaryPlan):
@@ -171,8 +165,8 @@ class WherePlan(_UnaryPlan):
         super().__init__(child)
         self.predicate = predicate
 
-    def _evaluate(self, environment, memo):
-        return xf.where(self.child.evaluate(environment, memo), self.predicate)
+    def _evaluate(self, executor):
+        return xf.where(executor.recurse(self.child), self.predicate)
 
 
 class SelectManyPlan(_UnaryPlan):
@@ -182,8 +176,8 @@ class SelectManyPlan(_UnaryPlan):
         super().__init__(child)
         self.mapper = mapper
 
-    def _evaluate(self, environment, memo):
-        return xf.select_many(self.child.evaluate(environment, memo), self.mapper)
+    def _evaluate(self, executor):
+        return xf.select_many(executor.recurse(self.child), self.mapper)
 
 
 class GroupByPlan(_UnaryPlan):
@@ -199,8 +193,8 @@ class GroupByPlan(_UnaryPlan):
         self.key = key
         self.reducer = reducer
 
-    def _evaluate(self, environment, memo):
-        return xf.group_by(self.child.evaluate(environment, memo), self.key, self.reducer)
+    def _evaluate(self, executor):
+        return xf.group_by(executor.recurse(self.child), self.key, self.reducer)
 
 
 class ShavePlan(_UnaryPlan):
@@ -210,8 +204,8 @@ class ShavePlan(_UnaryPlan):
         super().__init__(child)
         self.slice_weights = slice_weights
 
-    def _evaluate(self, environment, memo):
-        return xf.shave(self.child.evaluate(environment, memo), self.slice_weights)
+    def _evaluate(self, executor):
+        return xf.shave(executor.recurse(self.child), self.slice_weights)
 
 
 class DistinctPlan(_UnaryPlan):
@@ -224,8 +218,8 @@ class DistinctPlan(_UnaryPlan):
             raise PlanError("Distinct cap must be positive")
         self.cap = cap
 
-    def _evaluate(self, environment, memo):
-        return xf.distinct(self.child.evaluate(environment, memo), self.cap)
+    def _evaluate(self, executor):
+        return xf.distinct(executor.recurse(self.child), self.cap)
 
     def _label(self) -> str:
         return f"Distinct(cap={self.cap:g})"
@@ -241,8 +235,8 @@ class DownScalePlan(_UnaryPlan):
             raise PlanError("DownScale factor must satisfy 0 < factor <= 1")
         self.factor = factor
 
-    def _evaluate(self, environment, memo):
-        return xf.down_scale(self.child.evaluate(environment, memo), self.factor)
+    def _evaluate(self, executor):
+        return xf.down_scale(executor.recurse(self.child), self.factor)
 
     def _label(self) -> str:
         return f"DownScale(factor={self.factor:g})"
@@ -276,10 +270,10 @@ class JoinPlan(_BinaryPlan):
         self.right_key = right_key
         self.result_selector = result_selector
 
-    def _evaluate(self, environment, memo):
+    def _evaluate(self, executor):
         return xf.join(
-            self.left.evaluate(environment, memo),
-            self.right.evaluate(environment, memo),
+            executor.recurse(self.left),
+            executor.recurse(self.right),
             self.left_key,
             self.right_key,
             self.result_selector,
@@ -289,34 +283,84 @@ class JoinPlan(_BinaryPlan):
 class UnionPlan(_BinaryPlan):
     """Element-wise maximum of weights (Section 2.6)."""
 
-    def _evaluate(self, environment, memo):
-        return xf.union(
-            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
-        )
+    def _evaluate(self, executor):
+        return xf.union(executor.recurse(self.left), executor.recurse(self.right))
 
 
 class IntersectPlan(_BinaryPlan):
     """Element-wise minimum of weights (Section 2.6)."""
 
-    def _evaluate(self, environment, memo):
-        return xf.intersect(
-            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
-        )
+    def _evaluate(self, executor):
+        return xf.intersect(executor.recurse(self.left), executor.recurse(self.right))
 
 
 class ConcatPlan(_BinaryPlan):
     """Element-wise sum of weights (Section 2.6)."""
 
-    def _evaluate(self, environment, memo):
-        return xf.concat(
-            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
-        )
+    def _evaluate(self, executor):
+        return xf.concat(executor.recurse(self.left), executor.recurse(self.right))
 
 
 class ExceptPlan(_BinaryPlan):
     """Element-wise difference of weights (Section 2.6)."""
 
-    def _evaluate(self, environment, memo):
-        return xf.except_(
-            self.left.evaluate(environment, memo), self.right.evaluate(environment, memo)
-        )
+    def _evaluate(self, executor):
+        return xf.except_(executor.recurse(self.left), executor.recurse(self.right))
+
+
+def explain_plan(plan: Plan, epsilon: float | None = None) -> str:
+    """Render a plan as a readable tree annotated with privacy multiplicities.
+
+    Sub-plans referenced more than once (the shared DAG nodes every execution
+    backend evaluates a single time) are tagged ``#n`` on first appearance and
+    rendered as a back-reference afterwards.  The footer lists, per protected
+    source, the Section 2.3 multiplicity — and, when ``epsilon`` is supplied,
+    the concrete charge ``k·ε`` a measurement at that ε would incur.
+    """
+    if not isinstance(plan, Plan):
+        raise PlanError(f"explain_plan expects a Plan, got {type(plan).__name__}")
+
+    references: Counter = Counter()
+
+    def count(node: Plan) -> None:
+        references[id(node)] += 1
+        if references[id(node)] == 1:
+            for child in node.children:
+                count(child)
+
+    count(plan)
+    shared_ids = {node_id for node_id, uses in references.items() if uses > 1}
+
+    lines: list[str] = []
+    tags: dict[int, int] = {}
+
+    def render(node: Plan, depth: int) -> None:
+        pad = "  " * depth
+        node_id = id(node)
+        if node_id in tags:
+            lines.append(f"{pad}#{tags[node_id]} {node._label()} (shared, defined above)")
+            return
+        tag = ""
+        if node_id in shared_ids:
+            tags[node_id] = len(tags) + 1
+            tag = f"  [#{tags[node_id]}]"
+        lines.append(f"{pad}{node._label()}{tag}")
+        for child in node.children:
+            render(child, depth + 1)
+
+    render(plan, 0)
+
+    lines.append("")
+    multiplicities = plan.source_multiplicities()
+    if not multiplicities:
+        lines.append("sources: (none)")
+    else:
+        lines.append("sources:")
+        for name, uses in sorted(multiplicities.items()):
+            note = f"  {name}: x{uses}"
+            if epsilon is not None:
+                note += f"  (measurement at eps={epsilon:g} charges {uses * epsilon:g})"
+            else:
+                note += f"  (a measurement at eps charges {uses}*eps)"
+            lines.append(note)
+    return "\n".join(lines)

@@ -1,20 +1,26 @@
 """The analyst-facing fluent query API and privacy session.
 
-:class:`PrivacySession` owns the protected datasets, their privacy budgets and
-the measurement noise source.  :meth:`PrivacySession.protect` wraps a dataset
-into a :class:`Queryable`, wPINQ's analogue of a LINQ/PINQ queryable: each
-method call appends a stable transformation to a logical plan, and no data is
-touched until a differentially private aggregation such as
-:meth:`Queryable.noisy_count` is requested.
+:class:`PrivacySession` owns the protected datasets, their privacy budgets,
+the measurement noise source, and the **executor** — the single execution
+backend (:mod:`repro.core.executor`) through which every plan is evaluated.
+:meth:`PrivacySession.protect` wraps a dataset into a :class:`Queryable`,
+wPINQ's analogue of a LINQ/PINQ queryable: each method call appends a stable
+transformation to a logical plan, and no data is touched until a
+differentially private aggregation such as :meth:`Queryable.noisy_count` is
+requested.
 
-At measurement time the session
+Measurements — whether a single :meth:`Queryable.noisy_count` or a batch
+submitted through :meth:`PrivacySession.measure` — go through the pipeline of
+:mod:`repro.core.measurement`:
 
-1. statically counts how many times each protected source appears in the plan
-   (Section 2.3),
-2. atomically charges ``ε × multiplicity`` against every source's budget,
-   refusing the measurement entirely if any budget would be exceeded, and
-3. evaluates the plan eagerly and returns a
-   :class:`~repro.core.aggregation.NoisyCountResult`.
+1. the per-source privacy cost of the whole batch is computed statically
+   (sequential composition per Section 2.3; parallel composition for
+   ``Partition`` parts),
+2. every budget is charged atomically up front — refusing the entire batch,
+   charging nothing, if any budget would be exceeded — and
+3. all plans are evaluated in one executor batch (shared sub-plans evaluate
+   exactly once) and released as
+   :class:`~repro.core.aggregation.NoisyCountResult` values.
 
 A typical graph analysis looks like::
 
@@ -22,6 +28,13 @@ A typical graph analysis looks like::
     edges = session.protect("edges", edge_records, total_epsilon=1.0)
     degrees = edges.group_by(key=lambda e: e[0], reducer=len)
     measurement = degrees.noisy_count(0.1)
+
+and a batch that shares work between queries::
+
+    ccdf, seq = session.measure(
+        (degree_ccdf_query(edges), 0.1, "ccdf"),
+        (degree_sequence_query(edges), 0.1, "sequence"),
+    )
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ from ..exceptions import PlanError
 from .aggregation import NoisyCountResult, noisy_sum
 from .budget import BudgetLedger
 from .dataset import WeightedDataset
+from .executor import Executor, create_executor
 from .laplace import LaplaceNoise, validate_epsilon
 from .plan import (
     ConcatPlan,
@@ -50,13 +64,14 @@ from .plan import (
     SourcePlan,
     UnionPlan,
     WherePlan,
+    explain_plan,
 )
 
 __all__ = ["PrivacySession", "Queryable"]
 
 
 class PrivacySession:
-    """Holds protected datasets, their budgets, and the noise source.
+    """Holds protected datasets, budgets, the noise source and the executor.
 
     Parameters
     ----------
@@ -65,12 +80,24 @@ class PrivacySession:
         noise used by every measurement taken through this session.  Fixing
         the seed makes experiments reproducible without weakening the privacy
         semantics of the mechanism itself.
+    executor:
+        The execution backend evaluating every measurement: ``"eager"`` (the
+        default — fresh memoisation per batch), ``"eager-warm"`` (results kept
+        across batches), ``"dataflow"`` (the incremental engine, compiled
+        plans kept warm across measurements), or a factory callable taking
+        the session's environment mapping and returning an
+        :class:`~repro.core.executor.Executor`.
     """
 
-    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        seed: int | np.random.Generator | None = None,
+        executor: str | Callable[[Mapping[str, WeightedDataset]], Executor] = "eager",
+    ) -> None:
         self.ledger = BudgetLedger()
         self.noise = LaplaceNoise(seed)
         self._datasets: dict[str, WeightedDataset] = {}
+        self._executor = create_executor(executor, self._datasets)
 
     # ------------------------------------------------------------------
     def protect(
@@ -104,6 +131,47 @@ class PrivacySession:
         if missing:
             raise PlanError(f"plan references unregistered sources: {sorted(missing)}")
         return Queryable(self, plan)
+
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> Executor:
+        """The execution backend every measurement of this session runs on."""
+        return self._executor
+
+    def measure(self, *requests) -> "MeasurementSet":
+        """Take a batch of measurements as one atomic unit.
+
+        Each request is a ``(queryable, epsilon)`` or
+        ``(queryable, epsilon, name)`` tuple, or a
+        :class:`~repro.core.measurement.MeasurementRequest`.  The whole batch
+        is charged atomically up front — sequential composition for ordinary
+        queryables, parallel composition per partition group for
+        ``Partition`` parts — and refused entirely (charging nothing) if any
+        source's budget is insufficient.  All plans are then evaluated in one
+        executor batch, so sub-plans shared between requests are evaluated
+        exactly once, and the results are returned in request order as a
+        :class:`~repro.core.measurement.MeasurementSet`.
+
+        A single iterable of requests may also be passed as the only
+        positional argument.
+        """
+        from .measurement import MeasurementRequest, execute_batch
+
+        if len(requests) == 1:
+            first = requests[0]
+            is_single_request = isinstance(first, (MeasurementRequest, Queryable)) or (
+                isinstance(first, tuple)
+                and bool(first)
+                and isinstance(first[0], Queryable)
+            )
+            if not is_single_request:
+                try:
+                    requests = tuple(first)
+                except TypeError:
+                    # Fall through with the original argument so as_request
+                    # raises its descriptive PlanError.
+                    pass
+        return execute_batch(self, requests)
 
     # ------------------------------------------------------------------
     def environment(self) -> dict[str, WeightedDataset]:
@@ -271,6 +339,20 @@ class Queryable:
         return {name: count * epsilon for name, count in self.source_uses().items()}
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, epsilon: float | None = None) -> str:
+        """Render the plan as a readable tree with per-source multiplicities.
+
+        Shared sub-plans (evaluated once per batch by every backend) are
+        tagged and back-referenced; the footer lists the ε multiplicity each
+        protected source would be charged at — with the concrete ``k·ε``
+        amounts when ``epsilon`` is given.  Also available from the shell as
+        ``python -m repro explain <query>``.
+        """
+        return explain_plan(self._plan, epsilon)
+
+    # ------------------------------------------------------------------
     # Aggregations
     # ------------------------------------------------------------------
     def noisy_count(self, epsilon: float, query_name: str = "") -> NoisyCountResult:
@@ -279,19 +361,10 @@ class Queryable:
         Charges ``ε × multiplicity`` to every protected source used by the
         plan before touching any data; raises
         :class:`~repro.exceptions.BudgetExceededError` (charging nothing) if
-        any budget is insufficient.
+        any budget is insufficient.  Implemented as a one-element
+        :meth:`PrivacySession.measure` batch.
         """
-        costs = self.privacy_cost(epsilon)
-        label = query_name or f"noisy_count(eps={epsilon:g})"
-        self._session.ledger.charge(costs, description=label)
-        exact = self._plan.evaluate(self._session.environment())
-        return NoisyCountResult(
-            exact,
-            epsilon,
-            noise=self._session.noise,
-            plan=self._plan,
-            query_name=query_name,
-        )
+        return self._session.measure((self, epsilon, query_name))[0]
 
     def noisy_sum(
         self,
@@ -304,7 +377,7 @@ class Queryable:
         costs = self.privacy_cost(epsilon)
         label = query_name or f"noisy_sum(eps={epsilon:g})"
         self._session.ledger.charge(costs, description=label)
-        exact = self._plan.evaluate(self._session.environment())
+        exact = self._session.executor.evaluate(self._plan)
         return noisy_sum(
             exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
         )
@@ -319,7 +392,7 @@ class Queryable:
         wPINQ queries against *public/synthetic* datasets inside the MCMC
         loop.  It must never be used to release results about protected data.
         """
-        return self._plan.evaluate(self._session.environment())
+        return self._session.executor.evaluate(self._plan)
 
     def __repr__(self) -> str:
         uses = ", ".join(f"{name}×{count}" for name, count in sorted(self.source_uses().items()))

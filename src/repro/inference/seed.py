@@ -59,13 +59,18 @@ def measure_degree_statistics(
     """Measure CCDF + degree sequence + node count and fit a degree sequence.
 
     Each of the three measurements is taken at ``epsilon``, so the phase costs
-    ``3·ε`` of the edge dataset's budget.  ``max_rank``/``max_degree`` bound
-    the staircase fit; when omitted they are derived from the noisy node-count
-    and the extent of the released measurements.
+    ``3·ε`` of the edge dataset's budget, charged atomically as one batch.
+    The degree-sequence query extends the CCDF query, so the batch evaluates
+    the shared CCDF sub-plan once.  ``max_rank``/``max_degree`` bound the
+    staircase fit; when omitted they are derived from the noisy node-count and
+    the extent of the released measurements.
     """
-    ccdf = analyses.measure_degree_ccdf(edges, epsilon)
-    sequence = analyses.measure_degree_sequence(edges, epsilon)
-    node_estimate = analyses.measure_node_count(edges, epsilon)
+    ccdf, sequence, node_result = edges.session.measure(
+        (analyses.degree_ccdf_query(edges), epsilon, "degree_ccdf"),
+        (analyses.degree_sequence_query(edges), epsilon, "degree_sequence"),
+        (analyses.node_count_query(edges), epsilon, "node_count"),
+    )
+    node_estimate = analyses.node_count_from_measurement(node_result)
 
     if max_rank is None:
         observed_rank = max((r for r in sequence.observed_records() if isinstance(r, int)), default=0)

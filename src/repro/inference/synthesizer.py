@@ -25,8 +25,8 @@ import numpy as np
 
 from ..core.aggregation import NoisyCountResult
 from ..core.dataset import WeightedDataset
+from ..core.executor import DataflowExecutor
 from ..core.queryable import PrivacySession, Queryable
-from ..dataflow.engine import DataflowEngine
 from ..graph.graph import Graph
 from ..graph import statistics as graph_statistics
 from .mcmc import IncrementalMetropolisHastings, MCMCResult
@@ -58,13 +58,19 @@ class GraphSynthesizer:
         self.source_name = source_name
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
-        self.engine = DataflowEngine.from_plans(
-            [measurement.plan for measurement in self.measurements]
-        )
+        # The synthetic graph is public, so the executor's environment is the
+        # seed edge set; compiling all measurement plans into one warm engine
+        # shares every common sub-plan (and its operator state) between them.
+        # Kept private: once MCMC starts pushing deltas, only `engine`
+        # reflects the current synthetic graph — a later compile() through the
+        # executor would rebuild from the seed records.
         initial_records = WeightedDataset.from_records(
             self.graph.to_edge_records(symmetric=True)
         )
-        self.engine.initialize({source_name: initial_records})
+        self._executor = DataflowExecutor({source_name: initial_records})
+        self.engine = self._executor.compile(
+            [measurement.plan for measurement in self.measurements]
+        )
         self.tracker = ScoreTracker(self.engine, self.measurements, pow_=pow_)
         self.walk = EdgeSwapWalk(self.graph, rng=self._rng)
         self.sampler = IncrementalMetropolisHastings(
@@ -179,10 +185,13 @@ def synthesize_graph(
 
     seed_graph, degree_measurements = seed_graph_from_edges(edges, seed_epsilon, rng=rng)
 
-    fit_measurements = [
-        queryable.noisy_count(epsilon, query_name=name)
-        for queryable, epsilon, name in fit_queries
-    ]
+    # One batched measurement: budgets for every fit query are charged
+    # atomically and sub-plans shared between the queries evaluate once.
+    fit_measurements = list(
+        session.measure(
+            *[(queryable, epsilon, name) for queryable, epsilon, name in fit_queries]
+        )
+    )
 
     synthesizer = GraphSynthesizer(
         fit_measurements, seed_graph, pow_=pow_, rng=rng

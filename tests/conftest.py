@@ -1,35 +1,20 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+The hypothesis strategies live in :mod:`strategies` (``tests/strategies.py``)
+so test modules can import them explicitly instead of relying on which
+``conftest.py`` pytest imported first.
+"""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import strategies as st
 
 from repro.core import PrivacySession, WeightedDataset
 from repro.graph import Graph, erdos_renyi
 
-
-# ----------------------------------------------------------------------
-# Hypothesis strategies
-# ----------------------------------------------------------------------
-def records():
-    """Small hashable records: ints and short strings."""
-    return st.one_of(st.integers(min_value=-5, max_value=15), st.sampled_from("abcdef"))
+from strategies import weighted_datasets
 
 
-def weights():
-    """Bounded non-negative weights (wPINQ datasets are non-negative)."""
-    return st.floats(
-        min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False
-    )
-
-
-def weighted_datasets(max_size: int = 8):
-    """Random small weighted datasets."""
-    return st.dictionaries(records(), weights(), max_size=max_size).map(WeightedDataset)
-
-
-# Make the strategies importable from test modules via the fixtures below.
 @pytest.fixture(scope="session")
 def dataset_strategy():
     return weighted_datasets

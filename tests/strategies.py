@@ -1,0 +1,33 @@
+"""Shared hypothesis strategies for the test suite.
+
+Kept in a plain module (not ``conftest.py``) so test files can import them
+explicitly: ``from strategies import weighted_datasets``.  Importing from
+``conftest`` is fragile — whichever ``conftest.py`` pytest happens to load
+first (historically ``benchmarks/conftest.py``) wins the ``conftest`` name in
+``sys.modules`` and shadows this one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import WeightedDataset
+
+__all__ = ["records", "weights", "weighted_datasets"]
+
+
+def records():
+    """Small hashable records: ints and short strings."""
+    return st.one_of(st.integers(min_value=-5, max_value=15), st.sampled_from("abcdef"))
+
+
+def weights():
+    """Bounded non-negative weights (wPINQ datasets are non-negative)."""
+    return st.floats(
+        min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False
+    )
+
+
+def weighted_datasets(max_size: int = 8):
+    """Random small weighted datasets."""
+    return st.dictionaries(records(), weights(), max_size=max_size).map(WeightedDataset)

@@ -17,7 +17,7 @@ from repro.core.plan import DistinctPlan, DownScalePlan, SelectPlan, SourcePlan
 from repro.dataflow import DataflowEngine
 from repro.exceptions import PlanError
 
-from conftest import weighted_datasets
+from strategies import weighted_datasets
 
 TOLERANCE = 1e-7
 

@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 from repro.core import WeightedDataset
 from repro.core import transformations as xf
 
-from conftest import weighted_datasets
+from strategies import weighted_datasets
 
 TOLERANCE = 1e-7
 

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 
 from repro.core import WeightedDataset
 
-from conftest import weighted_datasets
+from strategies import weighted_datasets
 
 
 class TestConstruction:

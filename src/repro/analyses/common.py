@@ -15,6 +15,14 @@ import inspect
 from typing import Any, Callable, Sequence
 from weakref import WeakKeyDictionary
 
+from ..columnar.specs import (
+    ExplodeFields,
+    Field,
+    FieldIs,
+    FieldsDiffer,
+    JoinFields,
+    Permute,
+)
 from ..core.queryable import PrivacySession, Queryable
 from ..graph.graph import Graph
 
@@ -100,9 +108,11 @@ def symmetrize(edges: Queryable) -> Queryable:
     ``edges.Select(reverse).Concat(edges)`` as in Section 3.3.  Note that the
     result references the protected source twice, so every subsequent use of
     the symmetric dataset costs double — exactly the factor-of-two the paper
-    tracks when moving between directed and undirected statements.
+    tracks when moving between directed and undirected statements.  The
+    reversal is expressed as the structural spec ``Permute(1, 0)`` so the
+    vectorized backend executes it as a column swap.
     """
-    return edges.select(reverse_edge).concat(edges)
+    return edges.select(Permute(1, 0)).concat(edges)
 
 
 def rotate(path: Sequence[Any]) -> tuple[Any, ...]:
@@ -141,13 +151,14 @@ def nodes_from_edges(edges: Queryable) -> Queryable:
     (SelectMany), the accumulated per-node weight ``d_x / 2`` is shaved into
     0.5-weight slices, and only the first slice is kept.  A weight of 0.5 per
     node is the most a stable transformation can deliver, because one edge
-    identifies two nodes.
+    identifies two nodes.  Every step is a structural spec, so the whole
+    pipeline runs on the vectorized backend without per-record Python.
     """
     return (
-        edges.select_many(lambda edge: [edge[0], edge[1]])
+        edges.select_many(ExplodeFields())
         .shave(0.5)
-        .where(lambda record: record[1] == 0)
-        .select(lambda record: record[0])
+        .where(FieldIs(1, 0))
+        .select(Field(0))
     )
 
 
@@ -157,12 +168,15 @@ def length_two_paths(edges: Queryable) -> Queryable:
 
     The workhorse of the subgraph-counting queries (Section 2.7): the join of
     the symmetric edge set with itself on ``dst = src``, with length-two
-    cycles ``(a, b, a)`` filtered out.
+    cycles ``(a, b, a)`` filtered out.  The key selectors, the result
+    selector and the cycle filter are structural specs, which is what lets
+    the vectorized backend run this self-join — the hot path of every
+    subgraph query — entirely as array operations.
     """
     paths = edges.join(
         edges,
-        left_key=lambda edge: edge[1],
-        right_key=lambda edge: edge[0],
-        result_selector=lambda first, second: (first[0], first[1], second[1]),
+        left_key=Field(1),
+        right_key=Field(0),
+        result_selector=JoinFields(("l", 0), ("l", 1), ("r", 1)),
     )
-    return paths.where(lambda path: path[0] != path[2])
+    return paths.where(FieldsDiffer(0, 2))

@@ -25,6 +25,7 @@ from typing import Any
 
 import numpy as np
 
+from ..columnar.specs import Constant, Permute
 from ..core.aggregation import NoisyCountResult
 from ..core.laplace import LaplaceNoise, validate_epsilon
 from ..core.queryable import Queryable
@@ -175,11 +176,13 @@ def triangles_by_intersect_query(edges: Queryable) -> Queryable:
     Length-two paths are intersected with their own rotation — a path survives
     exactly when it closes into a triangle — and all surviving weight is
     funnelled onto a single record.  The query uses the symmetric edge dataset
-    :data:`TBI_EDGE_USES` = 4 times.
+    :data:`TBI_EDGE_USES` = 4 times.  The rotation (``Permute(1, 2, 0)``) and
+    the funnel (``Constant``) are structural specs, keeping the whole query on
+    the vectorized backend's array path.
     """
     paths = length_two_paths(edges)
-    triangles = paths.select(rotate).intersect(paths)
-    return triangles.select(lambda path: "triangle")
+    triangles = paths.select(Permute(1, 2, 0)).intersect(paths)
+    return triangles.select(Constant("triangle"))
 
 
 def measure_triangles_by_intersect(edges: Queryable, epsilon: float) -> NoisyCountResult:

@@ -17,6 +17,12 @@ The introspection half of the query API is also exposed::
     python -m repro explain            # list the named queries
     python -m repro explain tbd        # plan tree + per-source multiplicities
     python -m repro explain jdd --epsilon 0.1
+    python -m repro explain tbi --executor auto --rows 5000   # backend routing
+
+and the execution-backend comparison harness::
+
+    python -m repro bench                       # eager vs dataflow vs vectorized
+    python -m repro bench --edges 10000 --out BENCH_columnar.json
 """
 
 from __future__ import annotations
@@ -226,14 +232,27 @@ def _register_explain_queries() -> None:
     )
 
 
-def _run_explain(query: str | None, epsilon: float | None) -> int:
-    """Print the plan tree of a named analysis query (``repro explain``)."""
+def _run_explain(
+    query: str | None,
+    epsilon: float | None,
+    executor: str = "eager",
+    rows: int = 0,
+) -> int:
+    """Print the plan tree of a named analysis query (``repro explain``).
+
+    Every node is annotated with the backend the chosen ``--executor`` would
+    evaluate the plan on; ``--rows`` registers that many synthetic edge
+    records so the size-based routing of ``--executor auto`` is visible.
+    """
     from .core import PrivacySession
 
     _register_explain_queries()
     if query is None:
         width = max(len(name) for name in EXPLAIN_QUERIES)
-        print("usage: repro explain <query> [--epsilon E]\n\navailable queries:")
+        print(
+            "usage: repro explain <query> [--epsilon E] [--executor NAME] "
+            "[--rows N]\n\navailable queries:"
+        )
         for name in sorted(EXPLAIN_QUERIES):
             description, _ = EXPLAIN_QUERIES[name]
             print(f"  {name.ljust(width)}  {description}")
@@ -245,12 +264,35 @@ def _run_explain(query: str | None, epsilon: float | None) -> int:
         )
         return 2
     description, builder = EXPLAIN_QUERIES[query]
-    # The plan is data-independent, so an empty protected dataset suffices.
-    session = PrivacySession()
-    edges = session.protect("edges", [])
+    # The plan is data-independent; --rows only sizes the synthetic dataset
+    # that drives the auto executor's routing decision.
+    session = PrivacySession(executor=executor)
+    edges = session.protect("edges", [(index, index + 1) for index in range(rows)])
     queryable = builder(edges)
     print(f"{query} — {description}\n")
     print(queryable.explain(epsilon))
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """Run the backend comparison and write ``BENCH_columnar.json``."""
+    import json
+
+    from .columnar.bench import backend_comparison, format_comparison
+
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    report = backend_comparison(
+        edges=args.edges,
+        seed=args.seed if args.seed is not None else 0,
+        rounds=args.rounds,
+        backends=backends,
+    )
+    print(format_comparison(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nreport written to {args.out}")
     return 0
 
 
@@ -262,10 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "explain"],
+        choices=sorted(EXPERIMENTS) + ["list", "all", "explain", "bench"],
         help=(
             "which experiment to run ('list' to enumerate, 'all' for "
-            "everything, 'explain' to print a query plan)"
+            "everything, 'explain' to print a query plan, 'bench' to compare "
+            "the execution backends)"
         ),
     )
     parser.add_argument(
@@ -279,6 +322,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epsilon", type=float, default=None, help="privacy parameter")
     parser.add_argument("--pow", dest="pow_", type=float, default=None, help="MCMC score sharpening")
     parser.add_argument("--seed", type=int, default=None, help="base random seed")
+    parser.add_argument(
+        "--executor",
+        default="eager",
+        choices=["eager", "eager-warm", "dataflow", "vectorized", "auto"],
+        help="backend annotated by 'explain' (auto routes by input size)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=0,
+        help="synthetic protected rows for 'explain' (drives 'auto' routing)",
+    )
+    parser.add_argument(
+        "--edges", type=int, default=2000, help="benchmark graph edges for 'bench'"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per backend for 'bench'"
+    )
+    parser.add_argument(
+        "--backends",
+        default="eager,dataflow,vectorized",
+        help="comma-separated backends for 'bench'",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_columnar.json",
+        help="JSON report path for 'bench' (empty string to skip writing)",
+    )
     return parser
 
 
@@ -304,9 +375,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "explain":
-        return _run_explain(args.query, args.epsilon)
+        return _run_explain(args.query, args.epsilon, args.executor, args.rows)
     if args.query is not None:
         parser.error(f"unexpected argument {args.query!r} (only 'explain' takes a query)")
+    if args.experiment == "bench":
+        return _run_bench(args)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

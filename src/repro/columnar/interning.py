@@ -1,0 +1,108 @@
+"""Dictionary-encoding of records and atoms into integer codes.
+
+The columnar backend stores a weighted dataset as NumPy arrays of *codes*
+rather than Python objects: every distinct atom (a vertex id, a degree, a
+whole record) is assigned a small integer once, and from then on all
+comparisons, sorts, joins and group-bys operate on ``int64`` arrays.  Because
+the encoding is injective, code equality is record equality — which is what
+lets :mod:`repro.columnar.kernels` replace per-record Python loops with
+``np.lexsort`` / ``np.bincount`` / fancy indexing.
+
+A single process-wide :class:`Interner` is shared by every
+:class:`~repro.columnar.dataset.ColumnarDataset`, so codes produced by one
+dataset are directly comparable with codes produced by any other (the binary
+kernels rely on this).  Atoms unify exactly as ``dict`` keys do — ``1``,
+``1.0`` and ``True`` share one code — because
+:class:`~repro.core.dataset.WeightedDataset` is dictionary-backed and the
+kernels must match records precisely when the eager backend would.  The
+stored representative of a code is the first object ever interned for it,
+process-wide, whereas a dict keeps the first key *per dataset*: datasets
+mixing ``==``-equal atoms of different types may therefore materialise an
+equal-but-differently-typed record (``(True, 3)`` for ``(1.0, 3)``), which
+only a mapper that distinguishes ``==``-equal values (``str``, ``repr``,
+``type``) can observe.  Weights, merges and joins are unaffected.
+
+The table is append-only: codes are never reused or invalidated, so cached
+code arrays stay valid for the life of the process.  Memory therefore grows
+with the number of distinct atoms ever seen — protected records, but also
+every distinct *intermediate* record the kernels produce (group-by prefix
+tuples, shave slices); a long vectorized MCMC run grows the vocabulary
+monotonically with the distinct intermediates its proposals generate, a
+deliberate trade of memory for cross-dataset code compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Interner", "global_interner"]
+
+
+class Interner:
+    """An append-only bijection between hashable atoms and ``int64`` codes.
+
+    Lookup uses plain dictionary equality, so atoms that are ``==``-equal
+    (``1``/``1.0``/``True``) share a single code and decode to the
+    first-interned representative — the same unification a dict-backed
+    :class:`~repro.core.dataset.WeightedDataset` performs on its keys, which
+    keeps columnar record matching (joins, intersections, ``FieldIs``)
+    agreeing with the eager backend.  See the module docstring for the
+    representative caveat on mixed-type data.
+    """
+
+    __slots__ = ("_codes", "_atoms")
+
+    def __init__(self) -> None:
+        self._codes: dict[Any, int] = {}
+        self._atoms: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    # ------------------------------------------------------------------
+    def code(self, atom: Any) -> int:
+        """Return the code for ``atom``, assigning a fresh one if needed."""
+        code = self._codes.get(atom)
+        if code is None:
+            code = len(self._atoms)
+            self._codes[atom] = code
+            self._atoms.append(atom)
+        return code
+
+    def codes(self, atoms: Iterable[Any]) -> np.ndarray:
+        """Encode an iterable of atoms as an ``int64`` array."""
+        lookup = self._codes
+        table = self._atoms
+        atoms = list(atoms)
+        out = np.empty(len(atoms), dtype=np.int64)
+        for index, atom in enumerate(atoms):
+            code = lookup.get(atom)
+            if code is None:
+                code = len(table)
+                lookup[atom] = code
+                table.append(atom)
+            out[index] = code
+        return out
+
+    # ------------------------------------------------------------------
+    def atom(self, code: int) -> Any:
+        """Return the atom a code stands for."""
+        return self._atoms[code]
+
+    def atoms(self, codes: Sequence[int] | np.ndarray) -> list[Any]:
+        """Decode an array of codes back into their atoms."""
+        table = self._atoms
+        if isinstance(codes, np.ndarray):
+            codes = codes.tolist()
+        return [table[code] for code in codes]
+
+
+#: The process-wide interner every ColumnarDataset encodes against.
+_GLOBAL = Interner()
+
+
+def global_interner() -> Interner:
+    """The shared interner (one encoding per process, so codes compose)."""
+    return _GLOBAL

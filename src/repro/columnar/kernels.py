@@ -1,0 +1,473 @@
+"""Vectorized kernels for every stable transformation.
+
+Each function here mirrors one transformation in
+:mod:`repro.core.transformations`, taking and returning
+:class:`~repro.columnar.dataset.ColumnarDataset` values with *identical*
+weighted-output semantics (the property-based test suite checks agreement
+within ``DEFAULT_TOLERANCE`` and Definition-2 stability for every kernel).
+
+Two execution strategies coexist in every kernel that is parameterised by a
+record function:
+
+* a **fast path** used when the function is a recognised
+  :mod:`~repro.columnar.specs` spec and the dataset is decomposed into field
+  columns — pure array work (``np.lexsort`` merges, ``np.bincount`` group
+  sums, fancy-indexed joins), no per-record Python;
+* a **generic path** that materialises the record objects once and calls the
+  user function per record (or per joined pair), matching what the eager
+  backend would do while still vectorizing the weight arithmetic and the
+  final collision accumulation.
+
+The join kernel is the reason this backend exists: the per-key Cartesian
+pairing, the ``‖A_k‖ + ‖B_k‖`` denominators and the output weights are all
+computed with array operations, so the length-two-path self-join at the heart
+of the paper's subgraph queries runs at NumPy speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core import transformations as xf
+from ..core.transformations import _weight_sequence, normalize_weighted_output
+from .dataset import ColumnarDataset, row_groups
+from .interning import global_interner
+from .specs import (
+    Constant,
+    ExplodeFields,
+    Field,
+    FieldIs,
+    FieldsDiffer,
+    JoinFields,
+    Permute,
+)
+
+__all__ = [
+    "select",
+    "where",
+    "select_many",
+    "group_by",
+    "shave",
+    "join",
+    "union",
+    "intersect",
+    "concat",
+    "except_",
+    "distinct",
+    "down_scale",
+]
+
+
+# ----------------------------------------------------------------------
+# Layout alignment for binary operators
+# ----------------------------------------------------------------------
+def _aligned(
+    left: ColumnarDataset, right: ColumnarDataset
+) -> tuple[ColumnarDataset, ColumnarDataset]:
+    """Bring two datasets onto one layout so their rows can be merged."""
+    if left.arity == right.arity:
+        return left, right
+    if left.is_empty():
+        return ColumnarDataset.empty(left.tolerance, right.arity), right
+    if right.is_empty():
+        return left, ColumnarDataset.empty(right.tolerance, left.arity)
+    return left.as_opaque(), right.as_opaque()
+
+
+def _merge_sides(
+    left: ColumnarDataset, right: ColumnarDataset
+) -> tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray, int | None]:
+    """Outer-align the rows of two datasets.
+
+    Returns the unique rows of the union of supports plus each side's weight
+    vector over those rows (zero where a side lacks the record — exactly the
+    ``A(x) = 0`` convention of the eager operators).
+    """
+    left, right = _aligned(left, right)
+    columns = tuple(
+        np.concatenate([lcol, rcol])
+        for lcol, rcol in zip(left.columns, right.columns)
+    )
+    count = columns[0].shape[0] if columns else 0
+    if count == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return columns, empty, empty.copy(), left.arity
+    left_mask = np.zeros(count, dtype=bool)
+    left_mask[: len(left)] = True
+    stacked = np.concatenate([left.weights, right.weights])
+    order, sorted_columns, group, representatives = row_groups(columns)
+    stacked = stacked[order]
+    left_mask = left_mask[order]
+    groups = int(group[-1]) + 1
+    left_weights = np.bincount(
+        group, weights=np.where(left_mask, stacked, 0.0), minlength=groups
+    )
+    right_weights = np.bincount(
+        group, weights=np.where(left_mask, 0.0, stacked), minlength=groups
+    )
+    columns = tuple(column[representatives] for column in sorted_columns)
+    return columns, left_weights, right_weights, left.arity
+
+
+# ----------------------------------------------------------------------
+# Per-record transformations
+# ----------------------------------------------------------------------
+def select(dataset: ColumnarDataset, mapper: Callable[[Any], Any]) -> ColumnarDataset:
+    """``Select(A, f)(x) = Σ_{y : f(y) = x} A(y)`` (see ``xf.select``)."""
+    if dataset.decomposed:
+        arity = dataset.arity
+        if isinstance(mapper, Permute) and all(i < arity for i in mapper.indices):
+            columns = tuple(dataset.columns[i] for i in mapper.indices)
+            return ColumnarDataset(
+                columns,
+                dataset.weights,
+                len(mapper.indices),
+                dataset.tolerance,
+                assume_unique=mapper.is_permutation_of(arity),
+            )
+        if isinstance(mapper, Field) and mapper.index < arity:
+            return ColumnarDataset(
+                (dataset.columns[mapper.index],),
+                dataset.weights,
+                None,
+                dataset.tolerance,
+            )
+    if isinstance(mapper, Constant):
+        total = float(dataset.weights.sum())
+        code = global_interner().code(mapper.value)
+        return ColumnarDataset(
+            (np.array([code], dtype=np.int64),),
+            np.array([total], dtype=np.float64),
+            None,
+            dataset.tolerance,
+            assume_unique=True,
+        )
+    mapped = [mapper(record) for record in dataset.records()]
+    return ColumnarDataset.from_pairs(mapped, dataset.weights, dataset.tolerance)
+
+
+def where(
+    dataset: ColumnarDataset, predicate: Callable[[Any], bool]
+) -> ColumnarDataset:
+    """``Where(A, p)(x) = p(x) · A(x)`` (see ``xf.where``)."""
+    mask: np.ndarray | None = None
+    if dataset.decomposed:
+        arity = dataset.arity
+        if (
+            isinstance(predicate, FieldsDiffer)
+            and predicate.first < arity
+            and predicate.second < arity
+        ):
+            mask = dataset.columns[predicate.first] != dataset.columns[predicate.second]
+        elif isinstance(predicate, FieldIs) and predicate.index < arity:
+            try:
+                code = global_interner().code(predicate.value)
+            except TypeError:
+                # Unhashable comparison value: the eager semantics (== per
+                # record) still apply, so fall through to the generic path.
+                code = None
+            if code is not None:
+                mask = dataset.columns[predicate.index] == code
+    if mask is None:
+        mask = np.fromiter(
+            (bool(predicate(record)) for record in dataset.records()),
+            dtype=bool,
+            count=len(dataset),
+        )
+    return ColumnarDataset(
+        tuple(column[mask] for column in dataset.columns),
+        dataset.weights[mask],
+        dataset.arity,
+        dataset.tolerance,
+        assume_unique=True,
+    )
+
+
+def distinct(dataset: ColumnarDataset, cap: float = 1.0) -> ColumnarDataset:
+    """``Distinct(A, c)(x) = min(A(x), c)`` (see ``xf.distinct``)."""
+    cap = float(cap)
+    if cap <= 0:
+        raise ValueError("Distinct cap must be positive")
+    weights = np.minimum(dataset.weights, cap)
+    return ColumnarDataset(
+        dataset.columns, weights, dataset.arity, dataset.tolerance, assume_unique=True
+    )
+
+
+def down_scale(dataset: ColumnarDataset, factor: float) -> ColumnarDataset:
+    """``DownScale(A, s)(x) = s · A(x)`` with ``0 < s ≤ 1`` (see ``xf.down_scale``)."""
+    factor = float(factor)
+    if not 0.0 < factor <= 1.0:
+        raise ValueError("DownScale factor must satisfy 0 < factor <= 1")
+    return ColumnarDataset(
+        dataset.columns,
+        dataset.weights * factor,
+        dataset.arity,
+        dataset.tolerance,
+        assume_unique=True,
+    )
+
+
+def select_many(
+    dataset: ColumnarDataset, mapper: Callable[[Any], Any]
+) -> ColumnarDataset:
+    """``SelectMany(A, f) = Σ_x A(x) · f(x) / max(1, ‖f(x)‖)`` (see ``xf.select_many``)."""
+    if (
+        isinstance(mapper, ExplodeFields)
+        and dataset.decomposed
+        and not dataset.is_empty()
+    ):
+        width = dataset.arity
+        scale = 1.0 / max(1.0, float(width))
+        codes = np.concatenate(dataset.columns)
+        weights = np.tile(dataset.weights * scale, width)
+        return ColumnarDataset((codes,), weights, None, dataset.tolerance)
+    out_records: list[Any] = []
+    out_weights: list[float] = []
+    for record, weight in zip(dataset.records(), dataset.weights.tolist()):
+        produced = normalize_weighted_output(mapper(record))
+        produced_norm = sum(abs(w) for _, w in produced)
+        scale = weight / max(1.0, produced_norm)
+        for out_record, out_weight in produced:
+            out_records.append(out_record)
+            out_weights.append(out_weight * scale)
+    return ColumnarDataset.from_pairs(out_records, out_weights, dataset.tolerance)
+
+
+# ----------------------------------------------------------------------
+# GroupBy
+# ----------------------------------------------------------------------
+def group_by(
+    dataset: ColumnarDataset,
+    key: Callable[[Any], Any],
+    reducer: Callable[[Sequence[Any]], Any] = tuple,
+) -> ColumnarDataset:
+    """Keyed grouping via the weighted-prefix construction (see ``xf.group_by``).
+
+    The prefix emission is inherently record-level (it calls the reducer per
+    prefix and orders ties by ``repr``), so this kernel partitions in Python
+    and reuses ``xf.group_prefixes`` verbatim for exact eager agreement; only
+    the final collision accumulation is vectorized.
+    """
+    parts: dict[Any, dict[Any, float]] = {}
+    for record, weight in zip(dataset.records(), dataset.weights.tolist()):
+        parts.setdefault(key(record), {})[record] = weight
+    out_records: list[Any] = []
+    out_weights: list[float] = []
+    for part_key, part in parts.items():
+        for members, weight in xf.group_prefixes(part):  # duck-typed: dict.items()
+            out_records.append((part_key, reducer(list(members))))
+            out_weights.append(weight)
+    return ColumnarDataset.from_pairs(out_records, out_weights, dataset.tolerance)
+
+
+# ----------------------------------------------------------------------
+# Shave
+# ----------------------------------------------------------------------
+def shave(dataset: ColumnarDataset, slice_weights: Any = 1.0) -> ColumnarDataset:
+    """Break heavy records into indexed slices (see ``xf.shave``)."""
+    tolerance = dataset.tolerance
+    constant = (
+        isinstance(slice_weights, (int, float))
+        and not isinstance(slice_weights, bool)
+    )
+    if constant:
+        slice_weight = float(slice_weights)
+        if slice_weight <= 0:
+            raise ValueError("Shave slice weight must be positive")
+        weights = dataset.weights
+        positive = weights > 0
+        if not positive.any():
+            return ColumnarDataset.empty(tolerance, arity=2)
+        weights = weights[positive]
+        record_codes = dataset.record_codes()[positive]
+        counts = np.ceil((weights - tolerance) / slice_weight).astype(np.int64)
+        counts = np.maximum(counts, 0)
+        emitting = counts > 0
+        weights, record_codes, counts = (
+            weights[emitting],
+            record_codes[emitting],
+            counts[emitting],
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return ColumnarDataset.empty(tolerance, arity=2)
+        row = np.repeat(np.arange(counts.shape[0]), counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        slice_index = np.arange(total) - offsets[row]
+        out_weights = np.full(total, slice_weight, dtype=np.float64)
+        last = offsets + counts - 1
+        out_weights[last] = weights - (counts - 1) * slice_weight
+        interner = global_interner()
+        index_codes = interner.codes(range(int(counts.max())))
+        columns = (record_codes[row], index_codes[slice_index])
+        return ColumnarDataset(columns, out_weights, 2, tolerance, assume_unique=True)
+    # Sequence / callable slice specifications: per-record Python, mirroring
+    # the eager loop exactly.
+    out_records: list[Any] = []
+    out_weights_list: list[float] = []
+    for record, weight in zip(dataset.records(), dataset.weights.tolist()):
+        if weight <= 0:
+            continue
+        sequence = _weight_sequence(slice_weights, record)
+        consumed = 0.0
+        index = 0
+        while consumed < weight - tolerance:
+            emitted_weight = sequence(index)
+            if emitted_weight <= 0.0:
+                break
+            emitted = min(emitted_weight, weight - consumed)
+            out_records.append((record, index))
+            out_weights_list.append(emitted)
+            consumed += emitted
+            index += 1
+    return ColumnarDataset.from_pairs(out_records, out_weights_list, tolerance)
+
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+def _key_codes(dataset: ColumnarDataset, key: Callable[[Any], Any]) -> np.ndarray:
+    """Per-row join-key codes — a column pick for ``Field`` keys."""
+    if (
+        isinstance(key, Field)
+        and dataset.decomposed
+        and key.index < dataset.arity
+    ):
+        return dataset.columns[key.index]
+    return global_interner().codes([key(record) for record in dataset.records()])
+
+
+def join(
+    left: ColumnarDataset,
+    right: ColumnarDataset,
+    left_key: Callable[[Any], Any],
+    right_key: Callable[[Any], Any],
+    result_selector: Callable[[Any, Any], Any] = lambda a, b: (a, b),
+) -> ColumnarDataset:
+    """wPINQ's weight-normalised equi-join, fully vectorized (see ``xf.join``).
+
+    Per join key ``k`` every pair ``(a, b) ∈ A_k × B_k`` is emitted with
+    weight ``A_k(a) · B_k(b) / (‖A_k‖ + ‖B_k‖)``.  Key matching, the
+    per-key norms, the Cartesian pair index arrays and the output weights are
+    all array operations; the output records are assembled by fancy-indexing
+    the field columns when the selector is a :class:`JoinFields` spec, and by
+    per-pair Python calls otherwise.
+    """
+    tolerance = left.tolerance
+    if left.is_empty() or right.is_empty():
+        return ColumnarDataset.empty(tolerance)
+    left_codes = _key_codes(left, left_key)
+    right_codes = _key_codes(right, right_key)
+    left_order = np.argsort(left_codes, kind="stable")
+    right_order = np.argsort(right_codes, kind="stable")
+    left_keys, left_starts, left_counts = np.unique(
+        left_codes[left_order], return_index=True, return_counts=True
+    )
+    right_keys, right_starts, right_counts = np.unique(
+        right_codes[right_order], return_index=True, return_counts=True
+    )
+    _, left_hit, right_hit = np.intersect1d(
+        left_keys, right_keys, assume_unique=True, return_indices=True
+    )
+    if left_hit.size == 0:
+        return ColumnarDataset.empty(tolerance)
+    left_norms = np.add.reduceat(np.abs(left.weights[left_order]), left_starts)
+    right_norms = np.add.reduceat(np.abs(right.weights[right_order]), right_starts)
+    denominators = left_norms[left_hit] + right_norms[right_hit]
+    feasible = denominators > 0
+    left_hit, right_hit = left_hit[feasible], right_hit[feasible]
+    denominators = denominators[feasible]
+    pair_counts = left_counts[left_hit] * right_counts[right_hit]
+    total = int(pair_counts.sum())
+    if total == 0:
+        return ColumnarDataset.empty(tolerance)
+    key_of_pair = np.repeat(np.arange(pair_counts.shape[0]), pair_counts)
+    offsets = np.concatenate(([0], np.cumsum(pair_counts)[:-1]))
+    local = np.arange(total) - offsets[key_of_pair]
+    fanout = right_counts[right_hit][key_of_pair]
+    left_rows = left_order[left_starts[left_hit][key_of_pair] + local // fanout]
+    right_rows = right_order[right_starts[right_hit][key_of_pair] + local % fanout]
+    weights = (
+        left.weights[left_rows]
+        * right.weights[right_rows]
+        / denominators[key_of_pair]
+    )
+    if (
+        isinstance(result_selector, JoinFields)
+        and left.decomposed
+        and right.decomposed
+        and all(
+            index < (left.arity if side == "l" else right.arity)
+            for side, index in result_selector.picks
+        )
+    ):
+        columns = tuple(
+            left.columns[index][left_rows]
+            if side == "l"
+            else right.columns[index][right_rows]
+            for side, index in result_selector.picks
+        )
+        return ColumnarDataset(
+            columns, weights, len(result_selector.picks), tolerance
+        )
+    left_records = left.records()
+    right_records = right.records()
+    out_records = [
+        result_selector(left_records[a], right_records[b])
+        for a, b in zip(left_rows.tolist(), right_rows.tolist())
+    ]
+    return ColumnarDataset.from_pairs(out_records, weights, tolerance)
+
+
+# ----------------------------------------------------------------------
+# Set-like binary operators
+# ----------------------------------------------------------------------
+def union(left: ColumnarDataset, right: ColumnarDataset) -> ColumnarDataset:
+    """``Union(A, B)(x) = max(A(x), B(x))`` (see ``xf.union``)."""
+    columns, left_weights, right_weights, arity = _merge_sides(left, right)
+    return ColumnarDataset(
+        columns,
+        np.maximum(left_weights, right_weights),
+        arity,
+        left.tolerance,
+        assume_unique=True,
+    )
+
+
+def intersect(left: ColumnarDataset, right: ColumnarDataset) -> ColumnarDataset:
+    """``Intersect(A, B)(x) = min(A(x), B(x))`` (see ``xf.intersect``)."""
+    columns, left_weights, right_weights, arity = _merge_sides(left, right)
+    return ColumnarDataset(
+        columns,
+        np.minimum(left_weights, right_weights),
+        arity,
+        left.tolerance,
+        assume_unique=True,
+    )
+
+
+def concat(left: ColumnarDataset, right: ColumnarDataset) -> ColumnarDataset:
+    """``Concat(A, B)(x) = A(x) + B(x)`` (see ``xf.concat``)."""
+    columns, left_weights, right_weights, arity = _merge_sides(left, right)
+    return ColumnarDataset(
+        columns,
+        left_weights + right_weights,
+        arity,
+        left.tolerance,
+        assume_unique=True,
+    )
+
+
+def except_(left: ColumnarDataset, right: ColumnarDataset) -> ColumnarDataset:
+    """``Except(A, B)(x) = A(x) − B(x)`` (see ``xf.except_``)."""
+    columns, left_weights, right_weights, arity = _merge_sides(left, right)
+    return ColumnarDataset(
+        columns,
+        left_weights - right_weights,
+        arity,
+        left.tolerance,
+        assume_unique=True,
+    )

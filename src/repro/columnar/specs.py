@@ -1,0 +1,173 @@
+"""Introspectable record functions the vectorized kernels can compile.
+
+wPINQ transformations are parameterised by arbitrary Python callables (key
+selectors, mappers, predicates), which every backend can always execute by
+calling them record-by-record.  The columnar backend additionally recognises
+the *structural* callables defined here — field picks, permutations, field
+comparisons — and replaces the per-record calls with array operations on the
+decomposed field columns.
+
+Every spec is a plain callable with exactly the semantics of the lambda it
+stands in for, so query plans built from specs behave identically on the
+eager and dataflow backends; only the vectorized backend inspects them.  The
+analyses use them for their hot joins (``length_two_paths`` builds its key
+selectors from :class:`Field` and its result selector from
+:class:`JoinFields`), which is what gives the join-heavy graph queries a
+fully vectorized execution path.
+
+This module deliberately has no NumPy dependency: specs are shared vocabulary
+between the plan layer and the kernels, not kernels themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = [
+    "ColumnarSpec",
+    "Field",
+    "Permute",
+    "Constant",
+    "JoinFields",
+    "FieldsDiffer",
+    "FieldIs",
+    "ExplodeFields",
+]
+
+
+class ColumnarSpec:
+    """Marker base class for callables the vectorized kernels understand."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and all(
+            getattr(other, name) == getattr(self, name) for name in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),) + tuple(getattr(self, name) for name in self.__slots__)
+        )
+
+
+class Field(ColumnarSpec):
+    """``record -> record[index]`` — a single-field pick (key selectors)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = int(index)
+
+    def __call__(self, record: Any) -> Any:
+        return record[self.index]
+
+
+class Permute(ColumnarSpec):
+    """``record -> tuple(record[i] for i in indices)`` — reorder/project fields.
+
+    ``Permute(1, 0)`` is edge reversal, ``Permute(1, 2, 0)`` rotates a
+    length-two path, ``Permute(0, 2)`` projects a path onto its endpoints.
+    """
+
+    __slots__ = ("indices",)
+
+    def __init__(self, *indices: int) -> None:
+        if not indices:
+            raise ValueError("Permute requires at least one field index")
+        self.indices = tuple(int(index) for index in indices)
+
+    def __call__(self, record: Any) -> tuple:
+        return tuple(record[index] for index in self.indices)
+
+    def is_permutation_of(self, arity: int) -> bool:
+        """True when the pick is a bijection on ``arity``-tuples."""
+        return sorted(self.indices) == list(range(arity))
+
+
+class Constant(ColumnarSpec):
+    """``record -> value`` — funnel all weight onto a single record."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __call__(self, record: Any) -> Any:
+        return self.value
+
+
+class JoinFields(ColumnarSpec):
+    """A join result selector assembling output tuples from both sides.
+
+    ``picks`` is a sequence of ``("l", i)`` / ``("r", i)`` pairs; the output
+    record is the tuple of the picked fields in order.  The
+    ``length_two_paths`` selector ``(a, b) ⋈ (b, c) -> (a, b, c)`` is
+    ``JoinFields(("l", 0), ("l", 1), ("r", 1))``.
+    """
+
+    __slots__ = ("picks",)
+
+    def __init__(self, *picks: tuple[str, int]) -> None:
+        if not picks:
+            raise ValueError("JoinFields requires at least one pick")
+        normalised = []
+        for side, index in picks:
+            if side not in ("l", "r"):
+                raise ValueError(f"pick side must be 'l' or 'r', got {side!r}")
+            normalised.append((side, int(index)))
+        self.picks = tuple(normalised)
+
+    def __call__(self, left: Any, right: Any) -> tuple:
+        return tuple(
+            (left if side == "l" else right)[index] for side, index in self.picks
+        )
+
+
+class FieldsDiffer(ColumnarSpec):
+    """``record -> record[i] != record[j]`` — the non-degeneracy predicate."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: int, second: int) -> None:
+        self.first = int(first)
+        self.second = int(second)
+
+    def __call__(self, record: Any) -> bool:
+        return record[self.first] != record[self.second]
+
+
+class FieldIs(ColumnarSpec):
+    """``record -> record[index] == value`` — keep one field value only."""
+
+    __slots__ = ("index", "value")
+
+    def __init__(self, index: int, value: Any) -> None:
+        self.index = int(index)
+        self.value = value
+
+    def __call__(self, record: Any) -> bool:
+        return record[self.index] == self.value
+
+
+class ExplodeFields(ColumnarSpec):
+    """A SelectMany mapper emitting every field of the record at unit weight.
+
+    Used by ``nodes_from_edges``: each edge produces both endpoints, and the
+    SelectMany rescaling divides the record's weight by the field count.  The
+    fields are returned as explicit ``(field, 1.0)`` pairs so that a field
+    which happens to be a ``(value, number)`` tuple cannot be misread as a
+    weighted pair by ``normalize_weighted_output`` — the eager and vectorized
+    executions are unambiguous and identical.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, record: Sequence[Any]) -> list:
+        return [(field, 1.0) for field in record]

@@ -6,10 +6,13 @@ The public surface is re-exported here so that typical analyst code only needs
 
 Execution is unified behind the :class:`Executor` protocol: every measurement
 — single ``noisy_count`` calls and batched :meth:`PrivacySession.measure`
-requests alike — is evaluated by the session's executor, either the eager
-memoising backend (:class:`EagerExecutor`) or the incremental dataflow engine
-(:class:`DataflowExecutor`).  Batches charge all privacy budgets atomically up
-front and evaluate sub-plans shared between requests exactly once.
+requests alike — is evaluated by the session's executor: the eager memoising
+backend (:class:`EagerExecutor`), the incremental dataflow engine
+(:class:`DataflowExecutor`), the columnar NumPy-kernel backend
+(:class:`~repro.columnar.executor.VectorizedExecutor`, ``executor=
+"vectorized"``), or the size-routing ``"auto"`` dispatcher.  Batches charge
+all privacy budgets atomically up front and evaluate sub-plans shared between
+requests exactly once.
 """
 
 from .aggregation import (

@@ -20,6 +20,8 @@ generalise directly to weighted datasets, are also provided.
 
 from __future__ import annotations
 
+import decimal
+import numbers
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
@@ -34,6 +36,55 @@ __all__ = [
     "noisy_median",
     "exponential_mechanism",
 ]
+
+
+def _canonical_token(value: Any) -> str:
+    """Content-stable token for the canonical noise-draw order.
+
+    Three normalisations make the token a function of record *equality*
+    rather than of any particular representative object or memory layout:
+
+    * real numbers — ``bool``/``int``/``float`` and their NumPy kin, matched
+      through the :mod:`numbers` ABCs because all of them dict-unify — render
+      integral values as exact integer text (no precision loss for ints
+      beyond 2⁵³) and everything else as the float repr, so the ``==``-equal
+      ``1``/``1.0``/``True``/``np.int64(1)`` — a single dict entry whichever
+      representative a backend happened to keep — always sort identically;
+    * tuples (including subclasses such as namedtuples, which ``==``-equal
+      plain tuples) recurse, so the rule reaches nested fields;
+    * a value whose class inherits ``object.__repr__`` has an address-based
+      repr that changes between runs, so it contributes no content — such
+      records keep their backend iteration order (the tied key plus Python's
+      stable sort), exactly the pre-canonicalisation behaviour.
+    """
+    if isinstance(value, tuple):
+        return "(" + ",".join(_canonical_token(element) for element in value) + ")"
+    if isinstance(value, numbers.Integral):
+        return repr(int(value))
+    if isinstance(value, (numbers.Real, decimal.Decimal)):
+        # Use the float token only when the value ==-unifies with that float
+        # (exactly representable); exact rationals beyond float precision —
+        # Fraction(1, 3), Decimal('0.1') — are NOT ==-equal to their float
+        # approximations and must not share its token.
+        try:
+            as_float = float(value)
+        except OverflowError:
+            as_float = None
+        if as_float is not None and value == as_float:
+            return (
+                repr(int(as_float)) if as_float.is_integer() else repr(as_float)
+            )
+        if isinstance(value, decimal.Decimal):
+            # ==-equal Decimals can differ in repr (0.10 vs 0.1): normalise.
+            return f"Decimal:{value.normalize()}"
+        return repr(value)
+    if type(value).__repr__ is object.__repr__:
+        return ""
+    return repr(value)
+
+
+def _canonical_sort_key(item: tuple[Any, float]) -> str:
+    return _canonical_token(item[0])
 
 
 class NoisyCountResult:
@@ -72,7 +123,13 @@ class NoisyCountResult:
         self._plan = plan
         self.query_name = query_name
         self._values: dict[Any, float] = {}
-        for record, weight in exact.items():
+        # Draw noise in a canonical (repr-sorted) record order rather than the
+        # dataset's iteration order.  Iteration order is an artifact of how a
+        # backend materialised Q(A) — eager dict insertion vs columnar code
+        # order — so sorting makes the record→noise assignment a function of
+        # the record *set* alone: under a fixed seed every execution backend
+        # releases identical measurements.
+        for record, weight in sorted(exact.items(), key=_canonical_sort_key):
             self._values[record] = weight + self._noise.sample(self._epsilon)
         self._observed = set(self._values)
 

@@ -19,6 +19,17 @@ conforming backends are provided:
     compiled costs only the collector reads, and shared sub-plans compile to
     shared operator nodes with shared state (Section 4.3 of the paper).
 
+Two further backends live in :mod:`repro.columnar` and are resolved lazily by
+:func:`create_executor`:
+
+``"vectorized"`` (:class:`~repro.columnar.executor.VectorizedExecutor`)
+    Columnar evaluation — records dictionary-encoded into NumPy code arrays,
+    every stable transformation executed as a vectorized kernel.
+
+``"auto"`` (:class:`~repro.columnar.executor.AutoExecutor`)
+    Routes each plan to eager or vectorized execution by the support size of
+    the protected sources it references.
+
 Executors only *evaluate*; privacy accounting stays in
 :mod:`repro.core.budget` / :mod:`repro.core.measurement` and noise in
 :mod:`repro.core.aggregation`, so neither backend can weaken the privacy
@@ -93,6 +104,10 @@ class EagerExecutor:
         """Whether results are retained across batches."""
         return self._warm
 
+    def backend_for(self, plan: Plan) -> str:
+        """Every plan handed to this executor evaluates eagerly."""
+        return "eager"
+
     def dataset(self, name: str) -> WeightedDataset:
         """Resolve a source name against the environment (used by SourcePlan)."""
         try:
@@ -107,6 +122,16 @@ class EagerExecutor:
         return dataset
 
     # ------------------------------------------------------------------
+    def _compute(self, plan: Plan) -> WeightedDataset:
+        """Produce one node's value; the hook subclasses override.
+
+        The base implementation runs the node's own eager rule; the columnar
+        :class:`~repro.columnar.executor.VectorizedExecutor` reuses all of
+        this class's memoisation/pinning machinery and swaps only this hook
+        (and the value type) out.
+        """
+        return plan._evaluate(self)
+
     def recurse(self, plan: Plan) -> WeightedDataset:
         """Evaluate ``plan`` within the current batch's memo scope.
 
@@ -118,7 +143,7 @@ class EagerExecutor:
         if key not in self._memo:
             self._pinned[key] = plan
             self._last_counts[key] = self._last_counts.get(key, 0) + 1
-            self._memo[key] = plan._evaluate(self)
+            self._memo[key] = self._compute(plan)
         return self._memo[key]
 
     def evaluate(self, plan: Plan) -> WeightedDataset:
@@ -187,6 +212,10 @@ class DataflowExecutor:
         """The current compiled engine (None before the first evaluation)."""
         return self._engine
 
+    def backend_for(self, plan: Plan) -> str:
+        """Every plan handed to this executor runs on the dataflow engine."""
+        return "dataflow"
+
     def compile(self, plans: Iterable[Plan]):
         """Ensure every plan is compiled and loaded; return the live engine."""
         from ..dataflow.engine import DataflowEngine
@@ -224,12 +253,14 @@ def create_executor(
     """Resolve an executor specification to a backend bound to ``environment``.
 
     ``spec`` may be one of the names ``"eager"`` (fresh memo per batch),
-    ``"eager-warm"`` (memo kept across batches) and ``"dataflow"`` (warm
-    incremental engine), or a *factory* — a callable taking the environment
-    mapping and returning an :class:`Executor`.  A pre-built executor
-    instance is rejected: it would be bound to some other environment and
-    silently measure the wrong data (the session's dataset registry only
-    exists once the session does).
+    ``"eager-warm"`` (memo kept across batches), ``"dataflow"`` (warm
+    incremental engine), ``"vectorized"`` (the columnar NumPy-kernel
+    backend) and ``"auto"`` (eager for tiny inputs, vectorized for large
+    ones), or a *factory* — a callable taking the environment mapping and
+    returning an :class:`Executor`.  A pre-built executor instance is
+    rejected: it would be bound to some other environment and silently
+    measure the wrong data (the session's dataset registry only exists once
+    the session does).
     """
     if isinstance(spec, str):
         if spec == "eager":
@@ -238,9 +269,18 @@ def create_executor(
             return EagerExecutor(environment, warm=True)
         if spec == "dataflow":
             return DataflowExecutor(environment)
+        if spec == "vectorized":
+            from ..columnar.executor import VectorizedExecutor
+
+            return VectorizedExecutor(environment)
+        if spec == "auto":
+            from ..columnar.executor import AutoExecutor
+
+            return AutoExecutor(environment)
         raise PlanError(
             f"unknown executor {spec!r}; expected 'eager', 'eager-warm', "
-            f"'dataflow', or a factory callable taking the environment"
+            f"'dataflow', 'vectorized', 'auto', or a factory callable "
+            f"taking the environment"
         )
     # Classes count as factories (EagerExecutor itself is "a callable taking
     # the environment"); runtime_checkable isinstance is hasattr-based, so an

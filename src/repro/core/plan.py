@@ -308,7 +308,9 @@ class ExceptPlan(_BinaryPlan):
         return xf.except_(executor.recurse(self.left), executor.recurse(self.right))
 
 
-def explain_plan(plan: Plan, epsilon: float | None = None) -> str:
+def explain_plan(
+    plan: Plan, epsilon: float | None = None, backend: str | None = None
+) -> str:
     """Render a plan as a readable tree annotated with privacy multiplicities.
 
     Sub-plans referenced more than once (the shared DAG nodes every execution
@@ -316,9 +318,14 @@ def explain_plan(plan: Plan, epsilon: float | None = None) -> str:
     rendered as a back-reference afterwards.  The footer lists, per protected
     source, the Section 2.3 multiplicity — and, when ``epsilon`` is supplied,
     the concrete charge ``k·ε`` a measurement at that ε would incur.
+
+    ``backend`` (``"eager"``, ``"dataflow"`` or ``"vectorized"``) annotates
+    every node with the execution backend that will evaluate it, making the
+    ``"auto"`` executor's routing decisions inspectable.
     """
     if not isinstance(plan, Plan):
         raise PlanError(f"explain_plan expects a Plan, got {type(plan).__name__}")
+    suffix = f" @{backend}" if backend else ""
 
     references: Counter = Counter()
 
@@ -344,7 +351,7 @@ def explain_plan(plan: Plan, epsilon: float | None = None) -> str:
         if node_id in shared_ids:
             tags[node_id] = len(tags) + 1
             tag = f"  [#{tags[node_id]}]"
-        lines.append(f"{pad}{node._label()}{tag}")
+        lines.append(f"{pad}{node._label()}{suffix}{tag}")
         for child in node.children:
             render(child, depth + 1)
 

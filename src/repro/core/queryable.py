@@ -84,7 +84,9 @@ class PrivacySession:
         The execution backend evaluating every measurement: ``"eager"`` (the
         default — fresh memoisation per batch), ``"eager-warm"`` (results kept
         across batches), ``"dataflow"`` (the incremental engine, compiled
-        plans kept warm across measurements), or a factory callable taking
+        plans kept warm across measurements), ``"vectorized"`` (the columnar
+        NumPy-kernel backend of :mod:`repro.columnar`), ``"auto"`` (eager for
+        tiny inputs, vectorized for large ones), or a factory callable taking
         the session's environment mapping and returning an
         :class:`~repro.core.executor.Executor`.
     """
@@ -347,10 +349,15 @@ class Queryable:
         Shared sub-plans (evaluated once per batch by every backend) are
         tagged and back-referenced; the footer lists the ε multiplicity each
         protected source would be charged at — with the concrete ``k·ε``
-        amounts when ``epsilon`` is given.  Also available from the shell as
+        amounts when ``epsilon`` is given.  Every node is annotated with the
+        backend the session's executor will evaluate this plan on (``@eager``
+        / ``@dataflow`` / ``@vectorized``), so the ``"auto"`` executor's
+        size-based routing is inspectable.  Also available from the shell as
         ``python -m repro explain <query>``.
         """
-        return explain_plan(self._plan, epsilon)
+        backend_for = getattr(self._session.executor, "backend_for", None)
+        backend = backend_for(self._plan) if backend_for is not None else None
+        return explain_plan(self._plan, epsilon, backend=backend)
 
     # ------------------------------------------------------------------
     # Aggregations

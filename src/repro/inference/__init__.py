@@ -32,6 +32,8 @@ __all__ = [
     "edge_swap_delta",
     "MeasurementScore",
     "ScoreTracker",
+    "ColumnarScoreEngine",
+    "MutableColumnarSource",
     "DegreeSequenceMeasurements",
     "SEED_EDGE_USES",
     "measure_degree_statistics",
@@ -42,3 +44,14 @@ __all__ = [
     "synthesize_graph",
     "DEFAULT_POW",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: the columnar scorer pulls in the whole vectorized
+    # backend (kernels, interner), which eager/dataflow-only users — every
+    # CLI experiment by default — should not pay to import.
+    if name in ("ColumnarScoreEngine", "MutableColumnarSource"):
+        from . import columnar_scoring
+
+        return getattr(columnar_scoring, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -41,7 +41,19 @@ DEFAULT_POW = 10_000.0
 
 
 class GraphSynthesizer:
-    """Fit a synthetic graph to released wPINQ measurements with MCMC."""
+    """Fit a synthetic graph to released wPINQ measurements with MCMC.
+
+    ``backend`` selects how proposals are re-scored:
+
+    * ``"dataflow"`` (default) — the incremental engine of Section 4.3:
+      ``Q(A)`` stays materialised per operator and each step costs
+      O(changed intermediate data).
+    * ``"vectorized"`` — the columnar path of
+      :mod:`repro.inference.columnar_scoring`: the synthetic edge set lives
+      as an incrementally updated weight vector and each score re-runs the
+      measurement plans through the NumPy kernels (no operator state, lower
+      constants, full-pass asymptotics).
+    """
 
     def __init__(
         self,
@@ -50,28 +62,45 @@ class GraphSynthesizer:
         pow_: float = DEFAULT_POW,
         rng: np.random.Generator | int | None = None,
         source_name: str = "edges",
+        backend: str = "dataflow",
     ) -> None:
         self.measurements = list(measurements)
         if not self.measurements:
             raise ValueError("at least one measurement is required")
         self.graph = seed_graph.copy()
         self.source_name = source_name
+        self.backend = backend
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
-        # The synthetic graph is public, so the executor's environment is the
-        # seed edge set; compiling all measurement plans into one warm engine
-        # shares every common sub-plan (and its operator state) between them.
-        # Kept private: once MCMC starts pushing deltas, only `engine`
-        # reflects the current synthetic graph — a later compile() through the
-        # executor would rebuild from the seed records.
         initial_records = WeightedDataset.from_records(
             self.graph.to_edge_records(symmetric=True)
         )
-        self._executor = DataflowExecutor({source_name: initial_records})
-        self.engine = self._executor.compile(
-            [measurement.plan for measurement in self.measurements]
-        )
-        self.tracker = ScoreTracker(self.engine, self.measurements, pow_=pow_)
+        if backend == "dataflow":
+            # The synthetic graph is public, so the executor's environment is
+            # the seed edge set; compiling all measurement plans into one warm
+            # engine shares every common sub-plan (and its operator state)
+            # between them.  Kept private: once MCMC starts pushing deltas,
+            # only `engine` reflects the current synthetic graph — a later
+            # compile() through the executor would rebuild from seed records.
+            self._executor = DataflowExecutor({source_name: initial_records})
+            self.engine = self._executor.compile(
+                [measurement.plan for measurement in self.measurements]
+            )
+            self.tracker = ScoreTracker(self.engine, self.measurements, pow_=pow_)
+        elif backend == "vectorized":
+            from .columnar_scoring import ColumnarScoreEngine
+
+            # One object plays engine (weight-vector deltas) and tracker
+            # (vectorized re-scoring) on the columnar path.
+            self.engine = ColumnarScoreEngine(
+                self.measurements, {source_name: initial_records}, pow_=pow_
+            )
+            self.tracker = self.engine
+        else:
+            raise ValueError(
+                f"unknown synthesis backend {backend!r}; "
+                f"expected 'dataflow' or 'vectorized'"
+            )
         self.walk = EdgeSwapWalk(self.graph, rng=self._rng)
         self.sampler = IncrementalMetropolisHastings(
             engine=self.engine,
@@ -159,6 +188,7 @@ def synthesize_graph(
     pow_: float = DEFAULT_POW,
     record_every: int | None = None,
     rng: np.random.Generator | int | None = None,
+    backend: str = "dataflow",
 ) -> SynthesisOutcome:
     """The full workflow of Section 5.1 in one call.
 
@@ -178,6 +208,10 @@ def synthesize_graph(
         Score-sharpening exponent (the paper uses 10,000).
     record_every:
         Record the trajectory every this-many steps (None = only final state).
+    backend:
+        How MCMC proposals are re-scored: ``"dataflow"`` (incremental engine)
+        or ``"vectorized"`` (columnar kernels over incrementally updated
+        weight vectors); see :class:`GraphSynthesizer`.
     """
     rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
@@ -194,7 +228,7 @@ def synthesize_graph(
     )
 
     synthesizer = GraphSynthesizer(
-        fit_measurements, seed_graph, pow_=pow_, rng=rng
+        fit_measurements, seed_graph, pow_=pow_, rng=rng, backend=backend
     )
     result = synthesizer.run(mcmc_steps, record_every=record_every)
 

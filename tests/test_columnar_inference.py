@@ -1,0 +1,159 @@
+"""Tests for MCMC re-scoring through the columnar kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyses import (
+    node_degrees,
+    protect_graph,
+    triangles_by_intersect_query,
+)
+from repro.core import PrivacySession, WeightedDataset
+from repro.exceptions import ReproError
+from repro.graph import Graph
+from repro.graph.generators import erdos_renyi
+from repro.inference import (
+    ColumnarScoreEngine,
+    GraphSynthesizer,
+    MutableColumnarSource,
+    synthesize_graph,
+)
+from repro.inference.seed import seed_graph_from_edges
+
+
+@pytest.fixture()
+def fitted():
+    """A protected graph, its measurements, and a Phase-1 seed graph."""
+    graph = erdos_renyi(40, 90, rng=2)
+    session = PrivacySession(seed=3)
+    edges = protect_graph(session, graph, total_epsilon=100.0)
+    measurements = list(
+        session.measure(
+            (triangles_by_intersect_query(edges), 0.5, "tbi"),
+            (node_degrees(edges), 0.2, "degrees"),
+        )
+    )
+    seed_graph, _ = seed_graph_from_edges(edges, 0.3, rng=np.random.default_rng(5))
+    return measurements, seed_graph
+
+
+class TestMutableColumnarSource:
+    def test_incremental_updates_match_rebuild(self):
+        initial = WeightedDataset.from_records([(1, 2), (2, 1), (2, 3)])
+        source = MutableColumnarSource(initial)
+        source.apply({(1, 2): -1.0, (9, 9): 1.0, (2, 3): 0.5})
+        expected = WeightedDataset({(2, 1): 1.0, (2, 3): 1.5, (9, 9): 1.0})
+        assert source.to_weighted().distance(expected) == pytest.approx(0.0)
+
+    def test_growth_beyond_initial_capacity(self):
+        source = MutableColumnarSource(WeightedDataset.from_records([(0, 1)]))
+        for index in range(100):
+            source.apply({(index, index + 1): 1.0})
+        assert len(source.to_weighted()) == 100  # (0,1) reached weight 2
+
+    def test_layout_mismatch_falls_back_to_opaque(self):
+        source = MutableColumnarSource(WeightedDataset.from_records([(1, 2)]))
+        source.apply({"scalar": 1.0})
+        snapshot = source.to_weighted()
+        assert snapshot[(1, 2)] == 1.0 and snapshot["scalar"] == 1.0
+
+
+class TestColumnarScoreEngine:
+    def test_matches_dataflow_tracker(self, fitted):
+        measurements, seed_graph = fitted
+        dataflow = GraphSynthesizer(
+            measurements, seed_graph, pow_=50.0, rng=7, backend="dataflow"
+        )
+        vectorized = GraphSynthesizer(
+            measurements, seed_graph, pow_=50.0, rng=7, backend="vectorized"
+        )
+        assert vectorized.log_score == pytest.approx(dataflow.log_score, abs=1e-8)
+        flow_distances = dataflow.distances()
+        for name, distance in vectorized.distances().items():
+            assert distance == pytest.approx(flow_distances[name], abs=1e-8)
+
+    def test_same_walk_same_decisions(self, fitted):
+        measurements, seed_graph = fitted
+        runs = {}
+        for backend in ("dataflow", "vectorized"):
+            synthesizer = GraphSynthesizer(
+                measurements, seed_graph, pow_=50.0, rng=11, backend=backend
+            )
+            result = synthesizer.run(120)
+            runs[backend] = (result.accepted, synthesizer.log_score)
+        assert runs["dataflow"][0] == runs["vectorized"][0]
+        assert runs["dataflow"][1] == pytest.approx(runs["vectorized"][1], abs=1e-6)
+
+    def test_push_then_score_is_consistent_with_fresh_engine(self, fitted):
+        measurements, seed_graph = fitted
+        engine = ColumnarScoreEngine(
+            measurements,
+            {
+                "edges": WeightedDataset.from_records(
+                    seed_graph.to_edge_records(symmetric=True)
+                )
+            },
+            pow_=50.0,
+        )
+        edges = seed_graph.edge_list()
+        (a, b), (c, d) = edges[0], edges[1]
+        delta = {
+            (a, b): -1.0,
+            (b, a): -1.0,
+            (c, d): -1.0,
+            (d, c): -1.0,
+            (a, d): 1.0,
+            (d, a): 1.0,
+            (c, b): 1.0,
+            (b, c): 1.0,
+        }
+        engine.push("edges", delta)
+        fresh = ColumnarScoreEngine(
+            measurements, {"edges": engine.source_dataset("edges")}, pow_=50.0
+        )
+        assert engine.log_score() == pytest.approx(fresh.log_score(), abs=1e-8)
+
+    def test_unknown_source_rejected(self, fitted):
+        measurements, seed_graph = fitted
+        engine = ColumnarScoreEngine(
+            measurements,
+            {"edges": WeightedDataset.from_records(seed_graph.to_edge_records(True))},
+        )
+        with pytest.raises(ReproError):
+            engine.push("nope", {(1, 2): 1.0})
+
+    def test_state_entry_count_is_row_based(self, fitted):
+        measurements, seed_graph = fitted
+        synthesizer = GraphSynthesizer(
+            measurements, seed_graph, rng=0, backend="vectorized"
+        )
+        assert synthesizer.state_entry_count() == 2 * seed_graph.number_of_edges()
+
+    def test_unknown_backend_rejected(self, fitted):
+        measurements, seed_graph = fitted
+        with pytest.raises(ValueError, match="backend"):
+            GraphSynthesizer(measurements, seed_graph, backend="mystery")
+
+
+class TestWorkflowBackendOption:
+    def test_synthesize_graph_vectorized_backend(self):
+        graph = Graph([(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 3), (1, 4)])
+        session = PrivacySession(seed=21)
+        edges = protect_graph(session, graph, total_epsilon=100.0)
+        outcome = synthesize_graph(
+            session,
+            edges,
+            fit_queries=[(triangles_by_intersect_query(edges), 0.5, "tbi")],
+            seed_epsilon=0.3,
+            mcmc_steps=40,
+            pow_=100.0,
+            rng=4,
+            backend="vectorized",
+        )
+        assert outcome.mcmc_result.steps == 40
+        assert outcome.synthetic_graph.number_of_edges() == (
+            outcome.seed_graph.number_of_edges()
+        )
+        assert np.isfinite(outcome.mcmc_result.log_score)

@@ -1,0 +1,131 @@
+"""Property-based guarantees of the columnar kernels.
+
+Two properties, each checked on hypothesis-generated datasets for every
+transformation:
+
+* **Equivalence** — the columnar kernel produces the same weighted output as
+  the eager implementation in :mod:`repro.core.transformations`, within
+  ``DEFAULT_TOLERANCE``-scale floating-point slack.
+* **Stability** (Definition 2) — ``‖T(A) − T(A')‖ ≤ ‖A − A'‖`` (unary) and
+  ``‖T(A,B) − T(A',B')‖ ≤ ‖A − A'‖ + ‖B − B'‖`` (binary) hold for the
+  *kernel* outputs themselves, so the vectorized backend preserves the
+  privacy guarantee independently, not merely by agreeing with eager.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.columnar import ColumnarDataset, kernels
+from repro.core import WeightedDataset
+from repro.core import transformations as xf
+
+from strategies import weighted_datasets
+
+TOLERANCE = 1e-7
+
+
+def encode(dataset: WeightedDataset) -> ColumnarDataset:
+    return ColumnarDataset.from_weighted(dataset)
+
+
+#: name -> (kernel over ColumnarDataset, eager over WeightedDataset).
+UNARY = {
+    "select": (
+        lambda d: kernels.select(d, lambda x: hash(x) % 3),
+        lambda d: xf.select(d, lambda x: hash(x) % 3),
+    ),
+    "where": (
+        lambda d: kernels.where(d, lambda x: hash(x) % 2 == 0),
+        lambda d: xf.where(d, lambda x: hash(x) % 2 == 0),
+    ),
+    "select_many": (
+        lambda d: kernels.select_many(
+            d, lambda x: [f"{x}-{i}" for i in range(1 + hash(x) % 4)]
+        ),
+        lambda d: xf.select_many(
+            d, lambda x: [f"{x}-{i}" for i in range(1 + hash(x) % 4)]
+        ),
+    ),
+    "group_by": (
+        lambda d: kernels.group_by(d, lambda x: hash(x) % 2, reducer=len),
+        lambda d: xf.group_by(d, lambda x: hash(x) % 2, reducer=len),
+    ),
+    "shave": (
+        lambda d: kernels.shave(d, 0.75),
+        lambda d: xf.shave(d, 0.75),
+    ),
+    "distinct": (
+        lambda d: kernels.distinct(d, 1.0),
+        lambda d: xf.distinct(d, 1.0),
+    ),
+    "down_scale": (
+        lambda d: kernels.down_scale(d, 0.5),
+        lambda d: xf.down_scale(d, 0.5),
+    ),
+}
+
+BINARY = {
+    "union": (kernels.union, xf.union),
+    "intersect": (kernels.intersect, xf.intersect),
+    "concat": (kernels.concat, xf.concat),
+    "except_": (kernels.except_, xf.except_),
+    "join": (
+        lambda a, b: kernels.join(a, b, lambda x: hash(x) % 3, lambda x: hash(x) % 3),
+        lambda a, b: xf.join(a, b, lambda x: hash(x) % 3, lambda x: hash(x) % 3),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the eager implementations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(UNARY))
+@given(a=weighted_datasets())
+@settings(deadline=None, max_examples=40)
+def test_unary_kernel_matches_eager(name, a):
+    kernel, eager = UNARY[name]
+    assert kernel(encode(a)).to_weighted().distance(eager(a)) <= TOLERANCE
+
+
+@pytest.mark.parametrize("name", sorted(BINARY))
+@given(a=weighted_datasets(), b=weighted_datasets())
+@settings(deadline=None, max_examples=40)
+def test_binary_kernel_matches_eager(name, a, b):
+    kernel, eager = BINARY[name]
+    assert kernel(encode(a), encode(b)).to_weighted().distance(eager(a, b)) <= TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# Definition-2 stability of the kernels themselves
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(UNARY))
+@given(a=weighted_datasets(), a_prime=weighted_datasets())
+@settings(deadline=None, max_examples=40)
+def test_unary_kernel_is_stable(name, a, a_prime):
+    kernel, _ = UNARY[name]
+    distance_in = a.distance(a_prime)
+    distance_out = (
+        kernel(encode(a)).to_weighted().distance(kernel(encode(a_prime)).to_weighted())
+    )
+    assert distance_out <= distance_in + TOLERANCE
+
+
+@pytest.mark.parametrize("name", sorted(BINARY))
+@given(
+    a=weighted_datasets(),
+    a_prime=weighted_datasets(),
+    b=weighted_datasets(),
+    b_prime=weighted_datasets(),
+)
+@settings(deadline=None, max_examples=40)
+def test_binary_kernel_is_stable(name, a, a_prime, b, b_prime):
+    kernel, _ = BINARY[name]
+    distance_in = a.distance(a_prime) + b.distance(b_prime)
+    distance_out = (
+        kernel(encode(a), encode(b))
+        .to_weighted()
+        .distance(kernel(encode(a_prime), encode(b_prime)).to_weighted())
+    )
+    assert distance_out <= distance_in + TOLERANCE

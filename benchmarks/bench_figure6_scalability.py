@@ -9,14 +9,31 @@ Absolute numbers are not comparable (C# on a 64 GB server vs pure Python on a
 laptop-scale stand-in); the monotone relationships are what this benchmark
 checks.  ``state_entries`` counts weighted records held by operator state and
 is the platform-independent memory proxy; tracemalloc peak is also reported.
+
+A second test compares the three MCMC scoring backends — dataflow, full-pass
+columnar ("vectorized") and incremental columnar — on steps/second across
+graph sizes, asserts the incremental backend's speedup over the full-pass
+columnar one (the acceptance bar: ≥2× at 10k edges, single chain, tunable via
+``REPRO_BENCH_MCMC_MIN_SPEEDUP`` for CI smoke runs), asserts that dataflow
+and incremental take identical accept/reject decisions with per-measurement
+distances agreeing to 1e-9, and writes the repo-root ``BENCH_mcmc.json``
+report that tracks the perf trajectory.  Scale knobs:
+``REPRO_BENCH_MCMC_EDGES`` (comma list), ``REPRO_BENCH_MCMC_STEPS``,
+``REPRO_BENCH_MCMC_VEC_STEPS``, ``REPRO_BENCH_MCMC_MIN_ACCEPTED``.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from conftest import emit
 from repro.experiments import figure6_scalability, format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.mark.benchmark(group="figure6")
@@ -54,3 +71,53 @@ def test_figure6_memory_and_throughput(benchmark, config):
     ratio_state = ordered[-1]["state_entries"] / ordered[0]["state_entries"]
     ratio_d2 = ordered[-1]["degree_sum_of_squares"] / ordered[0]["degree_sum_of_squares"]
     assert ratio_state > 1.0 + 0.25 * (ratio_d2 - 1.0)
+
+
+# No `benchmark` fixture: the comparison times itself (steps/s is the
+# reported metric), which keeps the CI smoke run free of extra dependencies.
+def test_figure6_mcmc_backend_throughput():
+    """Steps/second of the three MCMC scoring backends across graph sizes.
+
+    Checks (at the largest size): the incremental columnar backend beats the
+    full-pass columnar backend by ``REPRO_BENCH_MCMC_MIN_SPEEDUP`` (default
+    2×, the ISSUE acceptance bar at 10k edges); the dataflow and incremental
+    chains — same seed, same walk — accept identically and end with
+    per-measurement distances agreeing to 1e-9; and enough steps were
+    accepted for the agreement claim to be about genuinely updated state.
+    """
+    from repro.inference.bench import format_mcmc_comparison, mcmc_backend_comparison
+
+    edge_counts = tuple(
+        int(value)
+        for value in os.environ.get("REPRO_BENCH_MCMC_EDGES", "2000,10000").split(",")
+        if value.strip()
+    )
+    steps = int(os.environ.get("REPRO_BENCH_MCMC_STEPS", "2000"))
+    vectorized_steps = int(os.environ.get("REPRO_BENCH_MCMC_VEC_STEPS", "120"))
+    min_speedup = float(os.environ.get("REPRO_BENCH_MCMC_MIN_SPEEDUP", "2.0"))
+    min_accepted = int(os.environ.get("REPRO_BENCH_MCMC_MIN_ACCEPTED", "1000"))
+
+    report = mcmc_backend_comparison(
+        edge_counts=edge_counts,
+        steps=steps,
+        vectorized_steps=vectorized_steps,
+    )
+    emit(format_mcmc_comparison(report))
+    (REPO_ROOT / "BENCH_mcmc.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    largest = max(report["sizes"], key=lambda entry: entry["edges"])
+    incremental = largest["backends"]["incremental"]
+    vectorized = largest["backends"]["vectorized"]
+    speedup = incremental["steps_per_second"] / vectorized["steps_per_second"]
+    assert speedup >= min_speedup, (
+        f"incremental columnar scoring managed only {speedup:.2f}x over the "
+        f"full-pass vectorized backend at {largest['edges']} edges "
+        f"(required {min_speedup}x)"
+    )
+    # Same seed, same walk: the two incremental-asymptotics backends must
+    # walk the same chain and agree on where it ends.
+    assert incremental["accepted"] >= min_accepted
+    assert largest["agreement"]["accepted_equal"]
+    assert largest["agreement"]["max_distance_diff"] <= 1e-9

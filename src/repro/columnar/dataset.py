@@ -27,7 +27,30 @@ import numpy as np
 from ..core.dataset import DEFAULT_TOLERANCE, WeightedDataset
 from .interning import global_interner
 
-__all__ = ["ColumnarDataset", "consolidate", "row_groups"]
+__all__ = ["ColumnarDataset", "consolidate", "row_groups", "encode_query_rows"]
+
+
+def encode_query_rows(
+    records: Sequence[Any], width: int, arity: int | None
+) -> np.ndarray:
+    """Encode probe records as an ``(n, width)`` code matrix for one layout.
+
+    Rows that cannot match the layout (non-tuples, wrong arity) are filled
+    with the ``-1`` sentinel, which never equals a real code.  The matrix
+    stays valid as long as the probed datasets keep that layout, so callers
+    probing a fixed record set every MCMC step encode once and reuse it.
+    """
+    queries = np.full((len(records), width), -1, dtype=np.int64)
+    interner = global_interner()
+    for position, record in enumerate(records):
+        if arity is None:
+            queries[position, 0] = interner.code(record)
+        elif isinstance(record, tuple) and len(record) == arity:
+            # isinstance, not an exact type check: a namedtuple probe is
+            # ==-equal to the plain-tuple rows and must match them.
+            for column, field in enumerate(record):
+                queries[position, column] = interner.code(field)
+    return queries
 
 
 def row_groups(
@@ -224,24 +247,20 @@ class ColumnarDataset:
         so the cost is O(rows · log rows) array work instead of decoding the
         whole support into Python objects.  This is the read primitive of the
         MCMC scorer, which probes a fixed released-record set against a large
-        query output every step.
+        query output every step — and caches the encoded query matrix across
+        steps via :func:`encode_query_rows` / :meth:`weights_for_codes`.
         """
         records = list(records)
+        return self.weights_for_codes(
+            encode_query_rows(records, len(self.columns), self.arity)
+        )
+
+    def weights_for_codes(self, queries: np.ndarray) -> np.ndarray:
+        """Like :meth:`weights_for` for a pre-encoded ``(n, width)`` query
+        matrix (as produced by :func:`encode_query_rows` for this layout)."""
         width = len(self.columns)
-        queries = np.full((len(records), width), -1, dtype=np.int64)
-        interner = global_interner()
-        for position, record in enumerate(records):
-            if self.arity is None:
-                queries[position, 0] = interner.code(record)
-            elif isinstance(record, tuple) and len(record) == self.arity:
-                # isinstance, not an exact type check: a namedtuple probe is
-                # ==-equal to the plain-tuple rows and must match them.
-                for column, field in enumerate(record):
-                    queries[position, column] = interner.code(field)
-            # else: a non-tuple (or wrong-arity) record cannot ==-equal any
-            # row of this layout; the -1 sentinel never matches a real code.
-        out = np.zeros(len(records), dtype=np.float64)
-        if self.is_empty() or not records:
+        out = np.zeros(queries.shape[0], dtype=np.float64)
+        if self.is_empty() or not queries.shape[0]:
             return out
         rows = np.column_stack(self.columns)
         order = np.lexsort(tuple(self.columns)[::-1])

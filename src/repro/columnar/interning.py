@@ -33,6 +33,7 @@ deliberate trade of memory for cross-dataset code compatibility.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -52,11 +53,17 @@ class Interner:
     representative caveat on mixed-type data.
     """
 
-    __slots__ = ("_codes", "_atoms")
+    __slots__ = ("_codes", "_atoms", "_lock")
 
     def __init__(self) -> None:
         self._codes: dict[Any, int] = {}
         self._atoms: list[Any] = []
+        # Assigning a fresh code is a read-len/write-dict/append sequence; the
+        # lock keeps it atomic so parallel synthesis chains (repro.inference
+        # .parallel runs N chains in threads) cannot assign one code to two
+        # atoms.  Reads of existing codes stay lock-free: the dict is
+        # append-only, so a hit is always a committed, final value.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._atoms)
@@ -66,23 +73,23 @@ class Interner:
         """Return the code for ``atom``, assigning a fresh one if needed."""
         code = self._codes.get(atom)
         if code is None:
-            code = len(self._atoms)
-            self._codes[atom] = code
-            self._atoms.append(atom)
+            with self._lock:
+                code = self._codes.get(atom)
+                if code is None:
+                    code = len(self._atoms)
+                    self._atoms.append(atom)
+                    self._codes[atom] = code
         return code
 
     def codes(self, atoms: Iterable[Any]) -> np.ndarray:
         """Encode an iterable of atoms as an ``int64`` array."""
         lookup = self._codes
-        table = self._atoms
         atoms = list(atoms)
         out = np.empty(len(atoms), dtype=np.int64)
         for index, atom in enumerate(atoms):
             code = lookup.get(atom)
             if code is None:
-                code = len(table)
-                lookup[atom] = code
-                table.append(atom)
+                code = self.code(atom)
             out[index] = code
         return out
 

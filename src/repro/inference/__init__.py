@@ -1,6 +1,29 @@
-"""Probabilistic inference: MCMC synthesis of datasets from measurements."""
+"""Probabilistic inference: MCMC synthesis of datasets from measurements.
+
+Phase 2 of the paper's workflow fits a synthetic dataset to the released
+noisy measurements with Metropolis–Hastings.  Three interchangeable scoring
+backends drive the chain (selected via
+``GraphSynthesizer(backend=...)`` / ``synthesize_graph(backend=...)``):
+
+* ``"dataflow"`` — the dict-based incremental engine of Section 4.3: per-step
+  cost proportional to the changed intermediate data.
+* ``"vectorized"`` — full-pass columnar scoring: every step re-runs the
+  (deduplicated) measurement plans through the NumPy kernels over
+  incrementally updated weight vectors.
+* ``"incremental"`` — incremental columnar scoring: Section 4.3 asymptotics
+  *and* array kernels.  Deltas propagate as code/weight arrays through the
+  stateful operator DAG of :mod:`repro.columnar.incremental`, per-measurement
+  bin vectors keep ``‖Q(A) − m‖₁`` maintained in O(touched bins), and
+  ``run(..., proposal_batch=k)`` scores K candidate swaps in one fused
+  kernel pass.  The fastest backend on non-tiny graphs.
+
+``GraphSynthesizer.run(chains=N)`` (or :func:`repro.inference.parallel
+.run_chains`) runs N independent chains with spawned RNG streams via
+``concurrent.futures`` and adopts the best-scoring graph.
+"""
 
 from .mcmc import (
+    BatchProposal,
     IncrementalMetropolisHastings,
     MCMCResult,
     MCMCStepRecord,
@@ -27,13 +50,19 @@ __all__ = [
     "IncrementalMetropolisHastings",
     "MCMCResult",
     "MCMCStepRecord",
+    "BatchProposal",
     "EdgeSwapWalk",
     "RecordReplacementWalk",
     "edge_swap_delta",
     "MeasurementScore",
     "ScoreTracker",
     "ColumnarScoreEngine",
+    "IncrementalColumnarScoreEngine",
+    "MeasurementSink",
     "MutableColumnarSource",
+    "ChainOutcome",
+    "ParallelSynthesisResult",
+    "run_chains",
     "DegreeSequenceMeasurements",
     "SEED_EDGE_USES",
     "measure_degree_statistics",
@@ -47,11 +76,21 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # Lazy re-export: the columnar scorer pulls in the whole vectorized
-    # backend (kernels, interner), which eager/dataflow-only users — every
-    # CLI experiment by default — should not pay to import.
-    if name in ("ColumnarScoreEngine", "MutableColumnarSource"):
+    # Lazy re-exports: the columnar scorers pull in the whole vectorized
+    # backend (kernels, interner), and the parallel driver pulls in the
+    # executor pool — eager/dataflow-only users (every CLI experiment by
+    # default) should not pay to import either.
+    if name in (
+        "ColumnarScoreEngine",
+        "IncrementalColumnarScoreEngine",
+        "MeasurementSink",
+        "MutableColumnarSource",
+    ):
         from . import columnar_scoring
 
         return getattr(columnar_scoring, name)
+    if name in ("ChainOutcome", "ParallelSynthesisResult", "run_chains"):
+        from . import parallel
+
+        return getattr(parallel, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,37 +1,57 @@
-"""MCMC proposal re-scoring through the columnar kernels (Section 4.2).
+"""MCMC proposal re-scoring through the columnar kernels (Section 4.2–4.3).
 
-The dataflow path keeps ``Q(A)`` materialised and updates it per delta; this
-module provides the *vectorized* alternative: the synthetic source lives as a
-columnar weight vector that proposals update **incrementally** in place
-(O(changed records) per step, no re-encoding), and each score reads
-``Q(A)`` by re-running the measurement plans through the NumPy kernels over
-the current vectors.  Per step that is a full — but vectorized — pass, so it
-trades the dataflow engine's O(changed intermediate data) asymptotics for
-much lower constants and no operator state (the Figure 6 memory axis), which
-wins on small-to-medium graphs and loses on very large ones; the
-``backend=`` switch on :class:`~repro.inference.synthesizer.GraphSynthesizer`
-makes the trade explicit.
+Two columnar scoring engines share the mutable array-backed source state:
 
-:class:`ColumnarScoreEngine` plays both roles of the
-:class:`~repro.inference.mcmc.IncrementalMetropolisHastings` pair: it is the
-``engine`` (``push(source, delta)``) and the ``tracker`` (``log_score()``,
-``distances()``).
+* :class:`ColumnarScoreEngine` — the *full-pass* vectorized path: the
+  synthetic source lives as a columnar weight vector that proposals update
+  incrementally in place, and each score re-runs the (deduplicated)
+  measurement plans through the NumPy kernels over the current vectors.  Per
+  step that is a full — but vectorized — pass: low constants, no operator
+  state, full-pass asymptotics.
+* :class:`IncrementalColumnarScoreEngine` — the *incremental* columnar path:
+  measurement plans compile into the stateful array-node DAG of
+  :mod:`repro.columnar.incremental`, each proposal's delta propagates as
+  small code/weight arrays touching only the changed intermediate data
+  (Section 4.3), and per-measurement **bin vectors** hold ``Q(A)`` at the
+  released records so the L1 residual ``‖Q(A) − m‖₁`` updates in O(touched
+  bins) per step instead of being recomputed.  It also answers *batched*
+  proposal evaluation (:meth:`IncrementalColumnarScoreEngine.score_candidates`)
+  by stacking K candidate deltas into one fused probe pass.
+
+Both engines play both roles of the
+:class:`~repro.inference.mcmc.IncrementalMetropolisHastings` pair: they are
+the ``engine`` (``push(source, delta)``) and the ``tracker`` (``log_score()``,
+``distances()``).  The ``backend=`` switch on
+:class:`~repro.inference.synthesizer.GraphSynthesizer` selects between them
+and the dict-based dataflow engine.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..columnar.dataset import ColumnarDataset
+from ..columnar.dataset import ColumnarDataset, encode_query_rows
 from ..columnar.executor import VectorizedExecutor
+from ..columnar.incremental import (
+    DeltaNode,
+    IncrementalGraph,
+    Probe,
+    ProbeFallback,
+    _row_keys,
+)
 from ..columnar.interning import global_interner
 from ..core.aggregation import NoisyCountResult
 from ..core.dataset import WeightedDataset
 from ..exceptions import ReproError
 
-__all__ = ["MutableColumnarSource", "ColumnarScoreEngine"]
+__all__ = [
+    "MutableColumnarSource",
+    "ColumnarScoreEngine",
+    "MeasurementSink",
+    "IncrementalColumnarScoreEngine",
+]
 
 
 class MutableColumnarSource:
@@ -44,6 +64,11 @@ class MutableColumnarSource:
     :class:`~repro.columnar.dataset.ColumnarDataset` of array *views* — valid
     until the next :meth:`apply`, which is exactly the evaluate-then-decide
     lifetime of an MCMC scoring pass.
+
+    The row-oriented half of the API (:meth:`ensure_row`, :meth:`apply_rows`,
+    :meth:`codes_for_rows`) lets scoring engines cache the record→row
+    encoding once per record: steady-state proposals that revisit known
+    records never touch the interner or re-encode anything.
     """
 
     def __init__(
@@ -73,6 +98,11 @@ class MutableColumnarSource:
     def __len__(self) -> int:
         """Number of rows ever materialised (including currently-zero ones)."""
         return self._size
+
+    @property
+    def arity(self) -> int | None:
+        """Current layout: per-field columns (``k``) or opaque (``None``)."""
+        return self._arity
 
     # ------------------------------------------------------------------
     def _grow(self) -> None:
@@ -106,22 +136,39 @@ class MutableColumnarSource:
         self._columns = [column]
         self._arity = None
 
+    # ------------------------------------------------------------------
+    def ensure_row(self, record: Any) -> int:
+        """Row index of ``record``, materialising it (at weight zero) once.
+
+        This is the only place a record is ever dictionary-encoded; callers
+        caching the returned row do zero interner work on later visits.
+        """
+        row = self._rows.get(record)
+        if row is None:
+            codes = self._encode(record)
+            if self._size >= self._weights.shape[0]:
+                self._grow()
+            row = self._size
+            self._size += 1
+            for buffer, code in zip(self._columns, codes):
+                buffer[row] = code
+            self._weights[row] = 0.0
+            self._rows[record] = row
+        return row
+
+    def apply_rows(self, rows: np.ndarray, changes: np.ndarray) -> None:
+        """Fold per-row weight changes in (rows must be distinct)."""
+        self._weights[rows] += changes
+
+    def codes_for_rows(self, rows: np.ndarray) -> tuple[np.ndarray, ...]:
+        """The code columns of the given rows, in the current layout."""
+        return tuple(column[: self._size][rows] for column in self._columns)
+
     def apply(self, delta: Mapping[Any, float]) -> None:
         """Fold a weight delta into the vectors (the incremental update)."""
         for record, change in delta.items():
-            row = self._rows.get(record)
-            if row is None:
-                codes = self._encode(record)
-                if self._size >= self._weights.shape[0]:
-                    self._grow()
-                row = self._size
-                self._size += 1
-                for buffer, code in zip(self._columns, codes):
-                    buffer[row] = code
-                self._rows[record] = row
-                self._weights[row] = float(change)
-            else:
-                self._weights[row] += float(change)
+            row = self.ensure_row(record)
+            self._weights[row] += float(change)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> ColumnarDataset:
@@ -141,17 +188,10 @@ class MutableColumnarSource:
         return self.snapshot().to_weighted()
 
 
-class ColumnarScoreEngine:
-    """Engine + tracker pair scoring measurements via vectorized kernels.
-
-    Drop-in for the ``(DataflowEngine, ScoreTracker)`` pair consumed by
-    :class:`~repro.inference.mcmc.IncrementalMetropolisHastings`: proposals
-    arrive as ``push(source, delta)`` weight-vector updates, and
-    ``log_score()`` evaluates every measurement plan in one vectorized
-    executor batch (shared sub-plans once) against the current vectors,
-    scoring ``−pow · Σ_i ε_i · ‖Q_i(A) − m_i‖₁`` over each measurement's
-    released records.
-    """
+class _ColumnarEngineBase:
+    """Shared plumbing of the two columnar scoring engines: validated
+    measurements, deduplicated plans, mutable sources and the cached
+    record→row encoding used by :meth:`push`."""
 
     def __init__(
         self,
@@ -170,37 +210,48 @@ class ColumnarScoreEngine:
                 raise ReproError(
                     "measurement carries no query plan; it cannot drive inference"
                 )
+        # Deduplicate identical plan objects: a plan measured twice costs one
+        # evaluation per step; each measurement keeps its own residual term.
+        self._unique_plans: list = []
+        self._plan_slots: list[int] = []
+        slot_by_id: dict[int, int] = {}
+        for measurement in self.measurements:
+            slot = slot_by_id.get(id(measurement.plan))
+            if slot is None:
+                slot = len(self._unique_plans)
+                slot_by_id[id(measurement.plan)] = slot
+                self._unique_plans.append(measurement.plan)
+            self._plan_slots.append(slot)
         self._sources = {
             name: MutableColumnarSource(dataset) for name, dataset in initial.items()
         }
-        self._environment: dict[str, ColumnarDataset] = {}
-        self._executor = VectorizedExecutor(self._environment)
-        self._plans = [measurement.plan for measurement in self.measurements]
-        # Per measurement: the released records and their noisy values, in a
-        # fixed order so every scoring pass probes the same vector.
-        self._target_records: list[list[Any]] = []
-        self._target_values: list[np.ndarray] = []
-        for measurement in self.measurements:
-            targets = measurement.to_dict()
-            self._target_records.append(list(targets))
-            self._target_values.append(
-                np.fromiter(targets.values(), dtype=np.float64, count=len(targets))
-            )
+        self._row_caches: dict[str, dict[Any, int]] = {
+            name: {} for name in self._sources
+        }
 
     # ------------------------------------------------------------------
-    # Engine half (what proposals talk to)
-    # ------------------------------------------------------------------
-    def push(self, source: str, delta: Mapping[Any, float]) -> None:
-        """Apply a proposal's weight delta to one source vector."""
+    def _encode_delta(
+        self, source: str, delta: Mapping[Any, float]
+    ) -> tuple[MutableColumnarSource, np.ndarray, np.ndarray]:
         try:
             target = self._sources[source]
         except KeyError as exc:
             raise ReproError(f"no mutable source named {source!r}") from exc
-        target.apply(delta)
+        cache = self._row_caches[source]
+        count = len(delta)
+        rows = np.empty(count, dtype=np.int64)
+        changes = np.empty(count, dtype=np.float64)
+        for index, (record, change) in enumerate(delta.items()):
+            row = cache.get(record)
+            if row is None:
+                row = target.ensure_row(record)
+                cache[record] = row
+            rows[index] = row
+            changes[index] = change
+        return target, rows, changes
 
     def state_entry_count(self) -> int:
-        """Rows materialised across sources (the memory proxy; no operator
-        state exists on this backend, unlike the dataflow engine)."""
+        """Rows materialised across sources (plus operator state, if any)."""
         return sum(len(source) for source in self._sources.values())
 
     def source_dataset(self, name: str) -> WeightedDataset:
@@ -208,22 +259,6 @@ class ColumnarScoreEngine:
         return self._sources[name].to_weighted()
 
     # ------------------------------------------------------------------
-    # Tracker half (what the acceptance test reads)
-    # ------------------------------------------------------------------
-    def _measurement_distances(self) -> list[float]:
-        for name, source in self._sources.items():
-            self._environment[name] = source.snapshot()
-        # Stay columnar end to end: outputs are probed for the fixed released
-        # records with a vectorized lookup instead of decoding every output
-        # record into Python objects on each MCMC step.
-        outputs = self._executor.evaluate_columnar(self._plans)
-        return [
-            float(np.abs(output.weights_for(records) - values).sum())
-            for output, records, values in zip(
-                outputs, self._target_records, self._target_values
-            )
-        ]
-
     def log_score(self) -> float:
         """``−pow · Σ_i ε_i · ‖Q_i(A) − m_i‖₁`` for the current vectors."""
         total = 0.0
@@ -243,6 +278,340 @@ class ColumnarScoreEngine:
             report[name] = distance
         return report
 
+    def _measurement_distances(self) -> list[float]:
+        raise NotImplementedError
+
+    def push(self, source: str, delta: Mapping[Any, float]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def score_candidates(
+        self, deltas: Sequence[Mapping[str, Mapping[Any, float]]]
+    ) -> np.ndarray:
+        """Log score each candidate delta would reach, from the current state.
+
+        The base implementation evaluates sequentially: apply, score, roll
+        back.  The incremental engine overrides this with a fused probe pass.
+        """
+        return self._score_sequentially(deltas)
+
+    def _score_sequentially(
+        self, deltas: Sequence[Mapping[str, Mapping[Any, float]]]
+    ) -> np.ndarray:
+        scores = np.empty(len(deltas), dtype=np.float64)
+        for index, candidate in enumerate(deltas):
+            for source, delta in candidate.items():
+                self.push(source, delta)
+            scores[index] = self.log_score()
+            for source, delta in candidate.items():
+                self.push(
+                    source, {record: -change for record, change in delta.items()}
+                )
+        return scores
+
+
+class ColumnarScoreEngine(_ColumnarEngineBase):
+    """Engine + tracker pair scoring measurements via full vectorized passes.
+
+    Drop-in for the ``(DataflowEngine, ScoreTracker)`` pair consumed by
+    :class:`~repro.inference.mcmc.IncrementalMetropolisHastings`: proposals
+    arrive as ``push(source, delta)`` weight-vector updates, and
+    ``log_score()`` evaluates every *unique* measurement plan in one
+    vectorized executor batch against the current vectors, scoring
+    ``−pow · Σ_i ε_i · ‖Q_i(A) − m_i‖₁`` over each measurement's released
+    records (their query encodings cached across steps).
+    """
+
+    def __init__(
+        self,
+        measurements: Iterable[NoisyCountResult],
+        initial: Mapping[str, WeightedDataset],
+        pow_: float = 1.0,
+    ) -> None:
+        super().__init__(measurements, initial, pow_)
+        self._environment: dict[str, ColumnarDataset] = {}
+        self._executor = VectorizedExecutor(self._environment)
+        # Per measurement: the released records and their noisy values, in a
+        # fixed order so every scoring pass probes the same vector; the
+        # encoded query matrix is cached per output layout.
+        self._target_records: list[list[Any]] = []
+        self._target_values: list[np.ndarray] = []
+        self._target_queries: list[dict[int | None, np.ndarray]] = []
+        for measurement in self.measurements:
+            targets = measurement.to_dict()
+            self._target_records.append(list(targets))
+            self._target_values.append(
+                np.fromiter(targets.values(), dtype=np.float64, count=len(targets))
+            )
+            self._target_queries.append({})
+
+    # ------------------------------------------------------------------
+    # Engine half (what proposals talk to)
+    # ------------------------------------------------------------------
+    def push(self, source: str, delta: Mapping[Any, float]) -> None:
+        """Apply a proposal's weight delta to one source vector."""
+        target, rows, changes = self._encode_delta(source, delta)
+        target.apply_rows(rows, changes)
+
+    # ------------------------------------------------------------------
+    # Tracker half (what the acceptance test reads)
+    # ------------------------------------------------------------------
+    def _queries_for(self, index: int, output: ColumnarDataset) -> np.ndarray:
+        cached = self._target_queries[index].get(output.arity)
+        if cached is None or cached.shape[1] != len(output.columns):
+            cached = encode_query_rows(
+                self._target_records[index], len(output.columns), output.arity
+            )
+            self._target_queries[index][output.arity] = cached
+        return cached
+
+    def _measurement_distances(self) -> list[float]:
+        for name, source in self._sources.items():
+            self._environment[name] = source.snapshot()
+        # Stay columnar end to end: unique plans evaluate once per batch, and
+        # outputs are probed for the fixed released records with a vectorized
+        # lookup over the cached query encodings instead of decoding every
+        # output record into Python objects on each MCMC step.
+        outputs = self._executor.evaluate_columnar(self._unique_plans)
+        distances: list[float] = []
+        for index, (slot, values) in enumerate(
+            zip(self._plan_slots, self._target_values)
+        ):
+            output = outputs[slot]
+            probed = output.weights_for_codes(self._queries_for(index, output))
+            distances.append(float(np.abs(probed - values).sum()))
+        return distances
+
+    def evaluations_per_step(self) -> int:
+        """How many plan evaluations one scoring pass performs (after
+        deduplication of identical plan objects)."""
+        return len(self._unique_plans)
+
     def resynchronize(self) -> None:
         """No-op: every score is computed from the current vectors exactly."""
         return None
+
+
+class MeasurementSink(DeltaNode):
+    """Terminal node of the incremental DAG holding one measurement's bins.
+
+    ``bins`` is the cached ``Q(A)`` weight vector over the measurement's
+    released records; absorbed deltas update only the touched bins and fold
+    the change of ``|Q(A)(r) − m(r)|`` into the running ``residual``.  Probes
+    accumulate per-candidate bin changes in a per-batch overlay instead, so
+    batched proposal evaluation reads every candidate's residual delta
+    without mutating anything.
+    """
+
+    def __init__(self, measurement: NoisyCountResult) -> None:
+        super().__init__(f"sink:{measurement.query_name or 'measurement'}")
+        targets = measurement.to_dict()
+        self._records = list(targets)
+        self.targets = np.fromiter(
+            targets.values(), dtype=np.float64, count=len(targets)
+        )
+        self.bins = np.zeros(len(targets), dtype=np.float64)
+        self.residual = float(np.abs(self.targets).sum())
+        interner = global_interner()
+        self._index: dict[tuple[int, ...], int] = {}
+        self._by_record: dict[Any, int] = {}
+        self._ambiguous = False
+        for position, record in enumerate(self._records):
+            self._by_record[record] = position
+            keys = [(interner.code(record),)]
+            if type(record) is tuple and len(record) >= 1:
+                keys.append(tuple(interner.code(field) for field in record))
+            for key in keys:
+                existing = self._index.get(key)
+                if existing is not None and existing != position:
+                    # A record and a tuple wrapping it alias to the same code
+                    # key; fall back to record-object matching for this sink.
+                    self._ambiguous = True
+                self._index[key] = position
+        self._probe_pending: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def _positions(self, delta_keys: list[tuple[int, ...]], records: Any) -> list:
+        if not self._ambiguous:
+            index = self._index
+            return [index.get(key) for key in delta_keys]
+        by_record = self._by_record
+        return [by_record.get(record) for record in records()]
+
+    def on_delta(self, delta: ColumnarDataset, port: int = 0) -> None:
+        positions = self._positions(_row_keys(delta.columns), delta.records)
+        for position, change in zip(positions, delta.weights.tolist()):
+            if position is None:
+                continue
+            old = float(self.bins[position])
+            new = old + change
+            self.bins[position] = new
+            target = float(self.targets[position])
+            self.residual += abs(new - target) - abs(old - target)
+
+    def on_probe(self, probe: Probe, port: int = 0) -> None:
+        if self._ambiguous:
+            raise ProbeFallback("sink requires record-object matching")
+        index = self._index
+        pending = self._probe_pending
+        for key, change, cand in zip(
+            _row_keys(probe.columns), probe.weights.tolist(), probe.cands.tolist()
+        ):
+            position = index.get(key)
+            if position is None:
+                continue
+            overlay_key = (cand, position)
+            pending[overlay_key] = pending.get(overlay_key, 0.0) + change
+
+    def begin_batch(self) -> None:
+        self._probe_pending = {}
+
+    def probe_residual_deltas(self, count: int) -> np.ndarray:
+        """Per-candidate change of ``‖Q(A) − m‖₁`` implied by the last batch."""
+        deltas = np.zeros(count, dtype=np.float64)
+        for (cand, position), change in self._probe_pending.items():
+            old = float(self.bins[position])
+            target = float(self.targets[position])
+            deltas[cand] += abs(old + change - target) - abs(old - target)
+        return deltas
+
+    # ------------------------------------------------------------------
+    def resynchronize(self, output: ColumnarDataset) -> None:
+        """Reset bins and residual from a freshly evaluated output."""
+        self.bins = output.weights_for(self._records)
+        self.residual = float(np.abs(self.bins - self.targets).sum())
+
+    def state_entries(self) -> int:
+        return int(self.bins.shape[0])
+
+
+class IncrementalColumnarScoreEngine(_ColumnarEngineBase):
+    """Engine + tracker pair with incremental columnar scoring (Section 4.3).
+
+    Measurement plans compile into one shared
+    :class:`~repro.columnar.incremental.IncrementalGraph`; a proposal's
+    ``push`` encodes the delta through the cached record→row map, folds it
+    into the mutable source vectors and propagates it as delta arrays, after
+    which ``log_score()`` is a constant-time read of the maintained residuals.
+    :meth:`score_candidates` stacks K candidate deltas into one fused probe
+    pass (falling back to sequential apply/score/rollback when a probe leaves
+    the fast path).
+    """
+
+    def __init__(
+        self,
+        measurements: Iterable[NoisyCountResult],
+        initial: Mapping[str, WeightedDataset],
+        pow_: float = 1.0,
+    ) -> None:
+        super().__init__(measurements, initial, pow_)
+        self._graph = IncrementalGraph()
+        self._sinks: list[MeasurementSink] = []
+        for measurement in self.measurements:
+            sink = MeasurementSink(measurement)
+            # Identical plan objects share every operator node; each sink
+            # keeps its own residual term.
+            self._graph.attach(measurement.plan, sink)
+            self._sinks.append(sink)
+        # Load the initial synthetic data by pushing it as a delta from empty
+        # (exactly how the dataflow engine initialises).
+        for name, source in self._sources.items():
+            self._graph.push(name, source.snapshot())
+
+    # ------------------------------------------------------------------
+    # Engine half (what proposals talk to)
+    # ------------------------------------------------------------------
+    def push(self, source: str, delta: Mapping[Any, float]) -> None:
+        """Apply a proposal's delta and propagate it through the DAG."""
+        target, rows, changes = self._encode_delta(source, delta)
+        target.apply_rows(rows, changes)
+        self._graph.push(
+            source,
+            ColumnarDataset(
+                target.codes_for_rows(rows),
+                changes,
+                target.arity,
+                target.tolerance,
+                assume_unique=True,
+            ),
+        )
+
+    def state_entry_count(self) -> int:
+        """Source rows plus weighted entries held by operator state."""
+        return super().state_entry_count() + self._graph.state_entry_count()
+
+    # ------------------------------------------------------------------
+    # Tracker half (what the acceptance test reads)
+    # ------------------------------------------------------------------
+    def _measurement_distances(self) -> list[float]:
+        return [sink.residual for sink in self._sinks]
+
+    def resynchronize(self) -> None:
+        """Recompute every bin vector from a fresh full vectorized pass.
+
+        Operator state floats drift exactly like the dataflow engine's; the
+        bins (which the score reads) are re-anchored here against the current
+        source vectors.
+        """
+        environment = {
+            name: source.snapshot() for name, source in self._sources.items()
+        }
+        outputs = VectorizedExecutor(environment).evaluate_columnar(
+            self._unique_plans
+        )
+        for sink, slot in zip(self._sinks, self._plan_slots):
+            sink.resynchronize(outputs[slot])
+
+    # ------------------------------------------------------------------
+    # Batched proposal evaluation
+    # ------------------------------------------------------------------
+    def score_candidates(
+        self, deltas: Sequence[Mapping[str, Mapping[Any, float]]]
+    ) -> np.ndarray:
+        """Score K candidate deltas in one fused probe pass.
+
+        Every candidate is evaluated against the *current* state; nothing is
+        mutated.  When any node in the DAG cannot answer on its probe fast
+        path (e.g. a delta that changes a join key's normaliser), the whole
+        batch falls back to sequential apply/score/rollback.
+        """
+        count = len(deltas)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        try:
+            probes = self._build_probes(deltas)
+            self._graph.probe(probes)
+        except ProbeFallback:
+            return self._score_sequentially(deltas)
+        residual_deltas = np.zeros(count, dtype=np.float64)
+        for measurement, sink in zip(self.measurements, self._sinks):
+            residual_deltas += measurement.epsilon * sink.probe_residual_deltas(count)
+        return self.log_score() - self.pow * residual_deltas
+
+    def _build_probes(
+        self, deltas: Sequence[Mapping[str, Mapping[Any, float]]]
+    ) -> list[tuple[str, Probe]]:
+        per_source: dict[str, tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]] = {}
+        for cand, candidate in enumerate(deltas):
+            for source, delta in candidate.items():
+                target, rows, changes = self._encode_delta(source, delta)
+                stacks = per_source.setdefault(source, ([], [], []))
+                stacks[0].append(rows)
+                stacks[1].append(changes)
+                stacks[2].append(np.full(rows.shape[0], cand, dtype=np.int64))
+        probes: list[tuple[str, Probe]] = []
+        for source, (rows_list, change_list, cand_list) in per_source.items():
+            target = self._sources[source]
+            rows = np.concatenate(rows_list)
+            probes.append(
+                (
+                    source,
+                    Probe(
+                        target.codes_for_rows(rows),
+                        np.concatenate(change_list),
+                        np.concatenate(cand_list),
+                        target.arity,
+                    ),
+                )
+            )
+        return probes

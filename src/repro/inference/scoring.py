@@ -96,6 +96,10 @@ class ScoreTracker:
 
     The tracker owns one :class:`MeasurementScore` per measurement, all wired
     to collectors of the same :class:`~repro.dataflow.engine.DataflowEngine`.
+    Measurements over the *same plan object* share one collector (and
+    therefore one incremental evaluation of the query) while keeping separate
+    residual terms — measuring a plan twice must not double the per-step
+    work, only the likelihood terms.
     """
 
     def __init__(
@@ -108,9 +112,15 @@ class ScoreTracker:
             raise ValueError("pow_ must be positive")
         self.pow = float(pow_)
         self.scores: list[MeasurementScore] = []
+        collectors: dict[int, object] = {}
         for measurement in measurements:
-            collector = engine.collector(measurement.plan)
+            collector = collectors.get(id(measurement.plan))
+            if collector is None:
+                collector = engine.collector(measurement.plan)
+                collectors[id(measurement.plan)] = collector
             self.scores.append(MeasurementScore(measurement, collector))
+        #: Distinct query evaluations maintained per step (after plan dedup).
+        self.unique_plan_count = len(collectors)
 
     def log_score(self) -> float:
         """The current (unnormalised) log posterior raised to ``pow``."""

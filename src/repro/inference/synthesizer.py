@@ -47,12 +47,21 @@ class GraphSynthesizer:
 
     * ``"dataflow"`` (default) — the incremental engine of Section 4.3:
       ``Q(A)`` stays materialised per operator and each step costs
-      O(changed intermediate data).
-    * ``"vectorized"`` — the columnar path of
+      O(changed intermediate data), all in dict-based Python.
+    * ``"vectorized"`` — the full-pass columnar path of
       :mod:`repro.inference.columnar_scoring`: the synthetic edge set lives
       as an incrementally updated weight vector and each score re-runs the
       measurement plans through the NumPy kernels (no operator state, lower
       constants, full-pass asymptotics).
+    * ``"incremental"`` — incremental *columnar* scoring
+      (:class:`~repro.inference.columnar_scoring
+      .IncrementalColumnarScoreEngine`): Section 4.3 asymptotics with array
+      kernels, per-measurement cached bin vectors, and fused batched proposal
+      evaluation (``run(..., proposal_batch=k)``).  The fastest backend on
+      non-tiny graphs.
+
+    ``run(chains=N)`` hands the work to the parallel multi-chain driver
+    (:mod:`repro.inference.parallel`) and adopts the best-scoring chain.
     """
 
     def __init__(
@@ -70,6 +79,7 @@ class GraphSynthesizer:
         self.graph = seed_graph.copy()
         self.source_name = source_name
         self.backend = backend
+        self.pow_ = float(pow_)
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
         initial_records = WeightedDataset.from_records(
@@ -96,10 +106,17 @@ class GraphSynthesizer:
                 self.measurements, {source_name: initial_records}, pow_=pow_
             )
             self.tracker = self.engine
+        elif backend == "incremental":
+            from .columnar_scoring import IncrementalColumnarScoreEngine
+
+            self.engine = IncrementalColumnarScoreEngine(
+                self.measurements, {source_name: initial_records}, pow_=pow_
+            )
+            self.tracker = self.engine
         else:
             raise ValueError(
                 f"unknown synthesis backend {backend!r}; "
-                f"expected 'dataflow' or 'vectorized'"
+                f"expected 'dataflow', 'vectorized' or 'incremental'"
             )
         self.walk = EdgeSwapWalk(self.graph, rng=self._rng)
         self.sampler = IncrementalMetropolisHastings(
@@ -107,7 +124,10 @@ class GraphSynthesizer:
             tracker=self.tracker,
             propose=self.walk.proposal_for_engine(source_name),
             rng=self._rng,
+            propose_batch=self.walk.batch_proposals_for_engine(source_name),
         )
+        #: Per-chain results of the last ``run(chains=N)`` call (None before).
+        self.last_parallel_result = None
 
     # ------------------------------------------------------------------
     @property
@@ -141,20 +161,66 @@ class GraphSynthesizer:
         steps: int,
         record_every: int | None = None,
         metrics: dict[str, Callable[[], float]] | None = None,
+        proposal_batch: int | None = None,
+        chains: int = 1,
+        max_workers: int | None = None,
     ) -> MCMCResult:
         """Run ``steps`` proposals, recording graph metrics along the way.
 
         By default the trajectory records the synthetic graph's triangle count
         and assortativity — the two quantities Figures 3 and 4 plot — plus any
         additional metrics supplied by the caller.
+
+        ``proposal_batch=k`` scores proposals in batches of ``k`` (one fused
+        kernel pass on the incremental backend).  ``chains=N`` runs N
+        independent chains from the current graph through the parallel driver
+        (:func:`repro.inference.parallel.run_chains`), adopts the
+        best-scoring chain into this synthesizer, stores the full per-chain
+        report on :attr:`last_parallel_result`, and returns the best chain's
+        result.
         """
+        if chains > 1:
+            from .parallel import run_chains
+
+            outcome = run_chains(
+                self.measurements,
+                self.graph,
+                steps,
+                chains=chains,
+                pow_=self.pow_,
+                backend=self.backend,
+                rng=self._rng,
+                source_name=self.source_name,
+                record_every=record_every,
+                metrics=metrics,
+                proposal_batch=proposal_batch,
+                max_workers=max_workers,
+            )
+            self.last_parallel_result = outcome
+            self._adopt(outcome.best.synthesizer)
+            return outcome.best.result
         combined: dict[str, Callable[[], float]] = {
             "triangles": lambda: float(self.triangle_count()),
             "assortativity": self.assortativity,
         }
         if metrics:
             combined.update(metrics)
-        return self.sampler.run(steps, record_every=record_every, metrics=combined)
+        return self.sampler.run(
+            steps,
+            record_every=record_every,
+            metrics=combined,
+            proposal_batch=proposal_batch,
+        )
+
+    def _adopt(self, other: "GraphSynthesizer") -> None:
+        """Take over another synthesizer's state (the winning chain's)."""
+        self.graph = other.graph
+        self.walk = other.walk
+        self.engine = other.engine
+        self.tracker = other.tracker
+        self.sampler = other.sampler
+        if hasattr(other, "_executor"):
+            self._executor = other._executor
 
 
 @dataclass
@@ -189,6 +255,8 @@ def synthesize_graph(
     record_every: int | None = None,
     rng: np.random.Generator | int | None = None,
     backend: str = "dataflow",
+    proposal_batch: int | None = None,
+    chains: int = 1,
 ) -> SynthesisOutcome:
     """The full workflow of Section 5.1 in one call.
 
@@ -209,9 +277,13 @@ def synthesize_graph(
     record_every:
         Record the trajectory every this-many steps (None = only final state).
     backend:
-        How MCMC proposals are re-scored: ``"dataflow"`` (incremental engine)
-        or ``"vectorized"`` (columnar kernels over incrementally updated
-        weight vectors); see :class:`GraphSynthesizer`.
+        How MCMC proposals are re-scored: ``"dataflow"`` (incremental
+        engine), ``"vectorized"`` (full-pass columnar kernels) or
+        ``"incremental"`` (incremental columnar scoring); see
+        :class:`GraphSynthesizer`.
+    proposal_batch, chains:
+        Batched proposal evaluation and parallel multi-chain synthesis,
+        forwarded to :meth:`GraphSynthesizer.run`.
     """
     rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
@@ -230,7 +302,12 @@ def synthesize_graph(
     synthesizer = GraphSynthesizer(
         fit_measurements, seed_graph, pow_=pow_, rng=rng, backend=backend
     )
-    result = synthesizer.run(mcmc_steps, record_every=record_every)
+    result = synthesizer.run(
+        mcmc_steps,
+        record_every=record_every,
+        proposal_batch=proposal_batch,
+        chains=chains,
+    )
 
     privacy_cost = {
         name: session.spent_budget(name) - spent_before.get(name, 0.0)

@@ -1,0 +1,151 @@
+"""Property-based equivalence of the three MCMC scoring backends.
+
+Satellite guarantee of the incremental-columnar PR: over random edge-swap
+delta sequences (and adversarial non-swap deltas that break the join's
+norm-preserving fast path), incremental columnar scoring matches both the
+full-pass columnar and the dataflow backends — per-measurement distances,
+log scores, and the accept/reject decisions of a seeded synthesis run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analyses import (
+    node_degrees,
+    protect_graph,
+    triangles_by_intersect_query,
+)
+from repro.core import PrivacySession, WeightedDataset
+from repro.core.executor import DataflowExecutor
+from repro.graph.generators import erdos_renyi
+from repro.inference import GraphSynthesizer
+from repro.inference.columnar_scoring import (
+    ColumnarScoreEngine,
+    IncrementalColumnarScoreEngine,
+)
+from repro.inference.random_walks import EdgeSwapWalk
+from repro.inference.scoring import ScoreTracker
+from repro.inference.seed import seed_graph_from_edges
+
+
+def build_problem(graph_seed: int):
+    graph = erdos_renyi(24, 45, rng=graph_seed)
+    session = PrivacySession(seed=graph_seed + 1)
+    edges = protect_graph(session, graph, total_epsilon=100.0)
+    measurements = list(
+        session.measure(
+            (triangles_by_intersect_query(edges), 0.5, "tbi"),
+            (node_degrees(edges), 0.2, "degrees"),
+        )
+    )
+    seed_graph, _ = seed_graph_from_edges(
+        edges, 0.3, rng=np.random.default_rng(graph_seed + 2)
+    )
+    return measurements, seed_graph
+
+
+def initial_edges(seed_graph) -> WeightedDataset:
+    return WeightedDataset.from_records(seed_graph.to_edge_records(symmetric=True))
+
+
+@settings(max_examples=8, deadline=None)
+@given(graph_seed=st.integers(0, 50), walk_seed=st.integers(0, 1000))
+def test_edge_swap_sequences_agree_across_backends(graph_seed, walk_seed):
+    """Random applied edge-swap sequences: all three trackers stay equal."""
+    measurements, seed_graph = build_problem(graph_seed)
+    incremental = IncrementalColumnarScoreEngine(
+        measurements, {"edges": initial_edges(seed_graph)}, pow_=25.0
+    )
+    full = ColumnarScoreEngine(
+        measurements, {"edges": initial_edges(seed_graph)}, pow_=25.0
+    )
+    executor = DataflowExecutor({"edges": initial_edges(seed_graph)})
+    engine = executor.compile([m.plan for m in measurements])
+    tracker = ScoreTracker(engine, measurements, pow_=25.0)
+
+    walk = EdgeSwapWalk(seed_graph.copy(), rng=walk_seed)
+    applied = 0
+    attempts = 0
+    while applied < 20 and attempts < 400:
+        attempts += 1
+        proposal = walk.propose()
+        if proposal is None:
+            continue
+        delta, a, b, c, d = proposal
+        for target in (incremental, full):
+            target.push("edges", delta)
+        engine.push("edges", delta)
+        walk.graph.swap_edges(a, b, c, d)
+        walk._replace_edge((a, b), (a, d))
+        walk._replace_edge((c, d), (c, b))
+        applied += 1
+    flow_distances = tracker.distances()
+    full_distances = full.distances()
+    for name, distance in incremental.distances().items():
+        assert distance == pytest.approx(full_distances[name], abs=1e-7)
+        assert distance == pytest.approx(flow_distances[name], abs=1e-7)
+    assert incremental.log_score() == pytest.approx(tracker.log_score(), abs=1e-6)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    graph_seed=st.integers(0, 50),
+    deltas=st.lists(
+        st.lists(
+            st.tuples(
+                st.integers(0, 30),
+                st.integers(0, 30),
+                st.floats(-1.5, 1.5, allow_nan=False, width=32),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_arbitrary_delta_sequences_agree(graph_seed, deltas):
+    """Non-degree-preserving deltas (join slow path) stay equivalent too."""
+    measurements, seed_graph = build_problem(graph_seed)
+    incremental = IncrementalColumnarScoreEngine(
+        measurements, {"edges": initial_edges(seed_graph)}
+    )
+    full = ColumnarScoreEngine(measurements, {"edges": initial_edges(seed_graph)})
+    for raw in deltas:
+        delta = {}
+        for a, b, change in raw:
+            delta[(a, b)] = delta.get((a, b), 0.0) + change
+        incremental.push("edges", delta)
+        full.push("edges", delta)
+        assert incremental.log_score() == pytest.approx(full.log_score(), abs=1e-6)
+    full_distances = full.distances()
+    for name, distance in incremental.distances().items():
+        assert distance == pytest.approx(full_distances[name], abs=1e-7)
+
+
+@settings(max_examples=4, deadline=None)
+@given(graph_seed=st.integers(0, 30), chain_seed=st.integers(0, 500))
+def test_seeded_synthesis_decisions_match(graph_seed, chain_seed):
+    """Same seed, same walk: all backends accept the same proposals."""
+    measurements, seed_graph = build_problem(graph_seed)
+    outcomes = {}
+    for backend in ("dataflow", "vectorized", "incremental"):
+        synthesizer = GraphSynthesizer(
+            measurements, seed_graph, pow_=25.0, rng=chain_seed, backend=backend
+        )
+        result = synthesizer.run(60)
+        outcomes[backend] = (
+            result.accepted,
+            synthesizer.log_score,
+            synthesizer.distances(),
+        )
+    accepted, log_score, distances = outcomes["dataflow"]
+    for backend in ("vectorized", "incremental"):
+        other_accepted, other_score, other_distances = outcomes[backend]
+        assert other_accepted == accepted
+        assert other_score == pytest.approx(log_score, abs=1e-6)
+        for name, distance in distances.items():
+            assert other_distances[name] == pytest.approx(distance, abs=1e-7)

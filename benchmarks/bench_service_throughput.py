@@ -1,0 +1,162 @@
+"""Benchmark: measurement-service throughput, 1 vs N concurrent clients.
+
+The batching scheduler exists so that N concurrent clients measuring the same
+session cost roughly one plan walk instead of N: while one fused batch
+executes, newly arriving requests pile up and form the next batch
+(group-commit).  This benchmark drives the real HTTP service (``repro
+serve``'s server, in-process on an ephemeral port) with a batchable
+same-session workload — every client measures the triangles-by-degree query
+at a distinct ε, so nothing is served from the answer cache and every request
+is a genuine measurement — and compares requests/second for one sequential
+client against ``REPRO_BENCH_SERVICE_CLIENTS`` concurrent ones.
+
+Results are written to ``BENCH_service.json`` at the repository root.
+``REPRO_BENCH_SERVICE_MIN_SPEEDUP`` relaxes the 3x bar for noisy shared CI
+runners; the structural fused-batch assertion keeps its full strength.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.experiments import format_table
+from repro.graph.generators import erdos_renyi
+from repro.service import ServiceClient, serve
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+EDGES = int(os.environ.get("REPRO_BENCH_SERVICE_EDGES", "2000"))
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "12"))
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVICE_CLIENTS", "8"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_SERVICE_ROUNDS", "3"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVICE_MIN_SPEEDUP", "3.0"))
+QUERY = "tbd"
+
+
+def _run_phase(url: str, session: str, clients: int, requests: int, offset: int) -> float:
+    """``clients`` threads issue ``requests`` measurements each; returns the
+    wall-clock elapsed seconds.  Epsilons are distinct across every request of
+    the whole benchmark so nothing ever comes from the answer cache."""
+    barrier = threading.Barrier(clients)
+    errors: list[BaseException] = []
+
+    def work(index: int) -> None:
+        client = ServiceClient(url, timeout=300.0)
+        barrier.wait()
+        try:
+            for step in range(requests):
+                epsilon = 1e-4 * (1 + offset + index * requests + step)
+                client.measure(session, QUERY, epsilon)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=work, args=(i,)) for i in range(clients)]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, f"client raised: {errors[0]!r}"
+    return elapsed
+
+
+def test_concurrent_clients_throughput():
+    graph = erdos_renyi(max(4, EDGES // 2), EDGES, rng=0)
+    server = serve(port=0, workers=CLIENTS)
+    server.serve_in_background()
+    try:
+        setup = ServiceClient(server.url, timeout=300.0)
+        setup.create_session("bench", list(graph.edges()), seed=0)
+        # Warm the hosted plan objects once so neither phase pays first-touch
+        # costs; a distinct ε keeps it out of both phases' measurements.
+        setup.measure("bench", QUERY, 0.5)
+
+        # Best-of-ROUNDS for both phases, like the other wall-clock
+        # benchmarks: shared machines have noisy clocks and schedulers.
+        # Epsilon offsets keep every measurement of every round distinct.
+        sequential_elapsed = min(
+            _run_phase(
+                server.url,
+                "bench",
+                clients=1,
+                requests=REQUESTS,
+                offset=round_index * REQUESTS,
+            )
+            for round_index in range(ROUNDS)
+        )
+        concurrent_elapsed = min(
+            _run_phase(
+                server.url,
+                "bench",
+                clients=CLIENTS,
+                requests=REQUESTS,
+                offset=(ROUNDS + round_index * CLIENTS) * REQUESTS,
+            )
+            for round_index in range(ROUNDS)
+        )
+        stats = setup.stats()
+    finally:
+        server.stop()
+
+    sequential_rps = REQUESTS / sequential_elapsed
+    concurrent_rps = (CLIENTS * REQUESTS) / concurrent_elapsed
+    speedup = concurrent_rps / sequential_rps
+
+    report = {
+        "edges": EDGES,
+        "query": QUERY,
+        "requests_per_client": REQUESTS,
+        "clients": CLIENTS,
+        "sequential": {
+            "clients": 1,
+            "requests": REQUESTS,
+            "elapsed_seconds": sequential_elapsed,
+            "requests_per_second": sequential_rps,
+        },
+        "concurrent": {
+            "clients": CLIENTS,
+            "requests": CLIENTS * REQUESTS,
+            "elapsed_seconds": concurrent_elapsed,
+            "requests_per_second": concurrent_rps,
+        },
+        "speedup": speedup,
+        "largest_fused_batch": stats["largest_batch"],
+        "scheduler": {key: stats[key] for key in ("requests", "batches")},
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    emit(
+        format_table(
+            ["clients", "requests", "seconds", "req/s", "speedup"],
+            [
+                (1, REQUESTS, f"{sequential_elapsed:.3f}", f"{sequential_rps:.1f}", "1.0x"),
+                (
+                    CLIENTS,
+                    CLIENTS * REQUESTS,
+                    f"{concurrent_elapsed:.3f}",
+                    f"{concurrent_rps:.1f}",
+                    f"{speedup:.2f}x",
+                ),
+            ],
+            title=(
+                f"Service throughput — {QUERY} on {EDGES} edges, fused batches "
+                f"up to {stats['largest_batch']}"
+            ),
+        )
+    )
+
+    # Concurrent same-session requests must actually have fused: without the
+    # group-commit scheduler every request would be its own executor pass.
+    assert stats["largest_batch"] >= 2
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP:g}x throughput from {CLIENTS} concurrent "
+        f"clients, got {speedup:.2f}x"
+    )

@@ -20,7 +20,7 @@ consume, because MCMC only needs the forward query, not its interpretation.
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
+from typing import Mapping
 
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable

@@ -13,8 +13,6 @@ length here.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.laplace import LaplaceNoise, validate_epsilon
 from ..graph.graph import Graph
 from ..graph.statistics import degree_sequence

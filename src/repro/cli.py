@@ -23,6 +23,11 @@ and the execution-backend comparison harness::
 
     python -m repro bench                       # eager vs dataflow vs vectorized
     python -m repro bench --edges 10000 --out BENCH_columnar.json
+
+as well as the concurrent measurement service (see README "Serving
+measurements")::
+
+    python -m repro serve --port 8080 --serve-workers 8
 """
 
 from __future__ import annotations
@@ -404,6 +409,39 @@ def _run_synth(args: argparse.Namespace, config: ExperimentConfig) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant measurement service (``repro serve``).
+
+    Serves the HTTP/JSON API of :mod:`repro.service.http` until interrupted.
+    Sessions are created by clients (:class:`repro.service.ServiceClient` or
+    plain ``curl``); concurrent measurements against one session are fused
+    into single batched executor passes, and repeated identical measurements
+    are answered from the released-answer cache at zero additional budget.
+    """
+    from .service import serve
+
+    server = serve(
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        max_pending=args.max_pending,
+        executor=args.executor,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro serve — listening on {server.url} "
+        f"(workers={args.serve_workers or 4}, max_pending={args.max_pending}, "
+        f"executor={args.executor})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -412,11 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "explain", "bench", "synth"],
+        choices=sorted(EXPERIMENTS) + ["list", "all", "explain", "bench", "synth", "serve"],
         help=(
             "which experiment to run ('list' to enumerate, 'all' for "
             "everything, 'explain' to print a query plan, 'bench' to compare "
-            "the execution backends, 'synth' to run MCMC graph synthesis)"
+            "the execution backends, 'synth' to run MCMC graph synthesis, "
+            "'serve' to run the HTTP measurement service)"
         ),
     )
     parser.add_argument(
@@ -488,6 +527,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["dataflow", "vectorized", "incremental"],
         help="for 'synth': MCMC scoring backend",
     )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="for 'serve': bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080, help="for 'serve': TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        help="for 'serve': scheduler worker threads (default 4)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=128,
+        help="for 'serve': per-session pending-request bound (backpressure)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="for 'serve': log every HTTP request to stderr",
+    )
     return parser
 
 
@@ -520,6 +582,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_bench(args)
     if args.experiment == "synth":
         return _run_synth(args, _configure(args))
+    if args.experiment == "serve":
+        return _run_serve(args)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

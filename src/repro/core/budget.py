@@ -9,10 +9,32 @@ A subtlety from Section 2.3: when a protected dataset appears ``k`` times in a
 query plan (e.g. both sides of a self-join), an ``ε``-DP aggregation of the
 plan's output is ``k·ε``-DP *for that dataset*.  The plan machinery counts
 source multiplicities statically and the ledger here charges the multiple.
+
+Thread safety
+-------------
+The ledger is the one component of the platform that must never be wrong, and
+it is exercised from multiple threads (parallel MCMC chains, the concurrent
+measurement service of :mod:`repro.service`).  Both classes therefore make
+every check-then-act sequence atomic:
+
+* :meth:`PrivacyBudget.charge` holds the budget's re-entrant lock across the
+  affordability check and the debit, so concurrent charges can never jointly
+  overspend ``total`` — one of two racing charges that together exceed the
+  remaining budget is guaranteed to raise :class:`BudgetExceededError`.
+* :meth:`BudgetLedger.charge` acquires the locks of *every* involved budget
+  (in sorted name order, so two multi-source charges can never deadlock)
+  before running its two-phase check-then-charge, making the multi-source
+  transaction atomic even against concurrent direct
+  :meth:`PrivacyBudget.charge` calls on the same budgets.
+
+All read accessors (``spent``, ``remaining``, ``history``, ``report``) take a
+consistent snapshot under the same locks.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from ..exceptions import BudgetExceededError, InvalidEpsilonError
@@ -39,43 +61,72 @@ class PrivacyBudget:
         The total ``ε`` the data owner is willing to spend on this dataset.
         ``float('inf')`` disables enforcement (useful for unit tests and for
         the *synthetic* datasets MCMC manipulates, which are public).
+
+    Instances are thread-safe: :meth:`charge` performs its affordability check
+    and debit atomically under a re-entrant lock, so no interleaving of
+    concurrent charges can spend more than ``total``.
     """
 
     total: float
     _spent: float = field(default=0.0, init=False)
     _charges: list[_Charge] = field(default_factory=list, init=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.total != float("inf"):
             self.total = validate_epsilon(self.total)
 
     @property
+    def lock(self) -> threading.RLock:
+        """The re-entrant lock guarding this budget's state.
+
+        Exposed so :class:`BudgetLedger` can hold it across a multi-source
+        two-phase charge; it is re-entrant, so holding it while calling
+        :meth:`charge` is safe.
+        """
+        return self._lock
+
+    @property
     def spent(self) -> float:
         """Total ε consumed so far."""
-        return self._spent
+        with self._lock:
+            return self._spent
 
     @property
     def remaining(self) -> float:
         """ε still available for future measurements."""
-        return self.total - self._spent
+        with self._lock:
+            return self.total - self._spent
 
     def can_afford(self, epsilon: float) -> bool:
-        """True if a charge of ``epsilon`` would stay within budget."""
+        """True if a charge of ``epsilon`` would stay within budget.
+
+        Note that under concurrency the answer may be stale by the time the
+        caller acts on it; :meth:`charge` re-checks under the lock, so use it
+        (and catch :class:`BudgetExceededError`) rather than check-then-act.
+        """
         epsilon = validate_epsilon(epsilon)
         # A tiny slack absorbs floating-point accumulation across many charges.
         return epsilon <= self.remaining + 1e-12
 
     def charge(self, epsilon: float, description: str = "") -> None:
-        """Consume ``epsilon`` of budget, or raise without consuming anything."""
+        """Consume ``epsilon`` of budget, or raise without consuming anything.
+
+        Check and debit happen atomically under the budget's lock.
+        """
         epsilon = validate_epsilon(epsilon)
-        if not self.can_afford(epsilon):
-            raise BudgetExceededError(epsilon, self.remaining)
-        self._spent += epsilon
-        self._charges.append(_Charge(epsilon, description))
+        with self._lock:
+            if not self.can_afford(epsilon):
+                raise BudgetExceededError(epsilon, self.remaining)
+            self._spent += epsilon
+            self._charges.append(_Charge(epsilon, description))
 
     def history(self) -> list[tuple[float, str]]:
         """Return the list of ``(epsilon, description)`` charges so far."""
-        return [(charge.epsilon, charge.description) for charge in self._charges]
+        with self._lock:
+            return [(charge.epsilon, charge.description) for charge in self._charges]
 
 
 class BudgetLedger:
@@ -85,35 +136,72 @@ class BudgetLedger:
     of two private tables); a measurement must be affordable for *all* of them
     simultaneously, and is charged atomically — either every source is charged
     or none is.
+
+    The ledger is thread-safe: registration is serialised, and
+    :meth:`charge` holds every involved budget's lock (in sorted name order)
+    across its check phase and its charge phase, so concurrent multi-source
+    charges — and concurrent direct :meth:`PrivacyBudget.charge` calls — can
+    never interleave into an overspend.
     """
 
     def __init__(self) -> None:
         self._budgets: dict[str, PrivacyBudget] = {}
+        self._lock = threading.RLock()
 
     def register(self, name: str, total_epsilon: float) -> PrivacyBudget:
-        """Create (or fetch) the budget for a protected source."""
-        if name in self._budgets:
-            return self._budgets[name]
-        budget = PrivacyBudget(total_epsilon)
-        self._budgets[name] = budget
-        return budget
+        """Create (or idempotently fetch) the budget for a protected source.
+
+        Re-registering an existing source with the *same* total is a no-op
+        returning the existing budget; a *different* total raises
+        :class:`InvalidEpsilonError` — silently keeping the first total would
+        let a caller believe a larger (or smaller) budget is in force than
+        the one actually enforced.
+        """
+        if total_epsilon != float("inf"):
+            total_epsilon = validate_epsilon(total_epsilon)
+        with self._lock:
+            existing = self._budgets.get(name)
+            if existing is not None:
+                if existing.total != total_epsilon:
+                    raise InvalidEpsilonError(
+                        f"source {name!r} is already registered with total "
+                        f"epsilon {existing.total:g}, refusing conflicting "
+                        f"re-registration at {total_epsilon:g}"
+                    )
+                return existing
+            budget = PrivacyBudget(total_epsilon)
+            self._budgets[name] = budget
+            return budget
 
     def budget_for(self, name: str) -> PrivacyBudget:
         """Return the budget registered under ``name``."""
-        try:
-            return self._budgets[name]
-        except KeyError as exc:
-            raise InvalidEpsilonError(f"no budget registered for source {name!r}") from exc
+        with self._lock:
+            try:
+                return self._budgets[name]
+            except KeyError as exc:
+                raise InvalidEpsilonError(
+                    f"no budget registered for source {name!r}"
+                ) from exc
 
     def charge(self, costs: dict[str, float], description: str = "") -> None:
-        """Atomically charge each source its cost, or raise and charge nothing."""
+        """Atomically charge each source its cost, or raise and charge nothing.
+
+        The two-phase check-then-charge runs with every involved budget's
+        lock held (acquired in sorted name order to rule out deadlock), so no
+        concurrent charge can slip between the affordability checks and the
+        debits.
+        """
         validated = {name: validate_epsilon(cost) for name, cost in costs.items()}
-        for name, cost in validated.items():
-            budget = self.budget_for(name)
-            if not budget.can_afford(cost):
-                raise BudgetExceededError(cost, budget.remaining, source=name)
-        for name, cost in validated.items():
-            self._budgets[name].charge(cost, description)
+        budgets = {name: self.budget_for(name) for name in validated}
+        with ExitStack() as stack:
+            for name in sorted(budgets):
+                stack.enter_context(budgets[name].lock)
+            for name, cost in validated.items():
+                budget = budgets[name]
+                if not budget.can_afford(cost):
+                    raise BudgetExceededError(cost, budget.remaining, source=name)
+            for name, cost in validated.items():
+                budgets[name].charge(cost, description)
 
     def spent(self, name: str) -> float:
         """ε consumed so far by the named source."""
@@ -124,12 +212,22 @@ class BudgetLedger:
         return self.budget_for(name).remaining
 
     def report(self) -> dict[str, dict[str, float]]:
-        """Summary of every registered source (total / spent / remaining)."""
-        return {
-            name: {
-                "total": budget.total,
-                "spent": budget.spent,
-                "remaining": budget.remaining,
-            }
-            for name, budget in self._budgets.items()
-        }
+        """Summary of every registered source (total / spent / remaining).
+
+        Every budget's lock is held for the read (sorted order, matching
+        :meth:`charge`), so the snapshot is consistent: a concurrent
+        multi-source charge is either fully visible or not at all.
+        """
+        with self._lock:
+            budgets = dict(self._budgets)
+        report: dict[str, dict[str, float]] = {}
+        with ExitStack() as stack:
+            for name in sorted(budgets):
+                stack.enter_context(budgets[name].lock)
+            for name, budget in budgets.items():
+                report[name] = {
+                    "total": budget.total,
+                    "spent": budget.spent,
+                    "remaining": budget.remaining,
+                }
+        return report

@@ -39,7 +39,7 @@ property-style for every operator.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Protocol, Sequence, runtime_checkable
+from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 from ..exceptions import PlanError
 from .dataset import WeightedDataset

@@ -25,6 +25,13 @@ through which measurements reach the protected data.  It accepts any number of
 
 ``Queryable.noisy_count`` is a one-element batch, so all existing analyst code
 keeps its exact semantics.
+
+:func:`execute_batch` always runs under the session's
+:attr:`~repro.core.queryable.PrivacySession.measure_lock` (taken by
+``PrivacySession.measure``), so the whole pipeline — ledger charge, partition
+group commits, executor evaluation, noise draws — is atomic with respect to
+other threads measuring the same session; the measurement service
+(:mod:`repro.service`) builds its request fusion on exactly this guarantee.
 """
 
 from __future__ import annotations

@@ -355,8 +355,9 @@ class PartQueryable(Queryable):
     ) -> float:
         """Release a single clamped, weighted sum with Laplace noise."""
         label = query_name or f"partition noisy_sum(eps={epsilon:g})"
-        self._group.charge_measurement(self._plan, epsilon, description=label)
-        exact = self._session.executor.evaluate(self._plan)
-        return _noisy_sum(
-            exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
-        )
+        with self._session.measure_lock:
+            self._group.charge_measurement(self._plan, epsilon, description=label)
+            exact = self._session.executor.evaluate(self._plan)
+            return _noisy_sum(
+                exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
+            )

@@ -39,6 +39,7 @@ and a batch that shares work between queries::
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -100,6 +101,12 @@ class PrivacySession:
         self.noise = LaplaceNoise(seed)
         self._datasets: dict[str, WeightedDataset] = {}
         self._executor = create_executor(executor, self._datasets)
+        # Serialises the whole measurement pipeline (budget charge, partition
+        # group commits, executor evaluation, noise draws): the noise RNG and
+        # the executor's memo tables are not thread-safe, so concurrent
+        # measurements of one session take turns.  Re-entrant because a
+        # locked caller (the measurement service) may itself call measure().
+        self._measure_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def protect(
@@ -140,6 +147,19 @@ class PrivacySession:
         """The execution backend every measurement of this session runs on."""
         return self._executor
 
+    @property
+    def measure_lock(self) -> threading.RLock:
+        """The re-entrant lock serialising this session's measurements.
+
+        Every measurement entry point (:meth:`measure`, and through it
+        ``noisy_count``; the ``noisy_sum`` paths) runs under this lock, so a
+        session may be shared between threads: concurrent measurements are
+        totally ordered, the budget accounting stays exact, and under a fixed
+        seed the released values are those of *some* sequential ordering of
+        the requests.
+        """
+        return self._measure_lock
+
     def measure(self, *requests) -> "MeasurementSet":
         """Take a batch of measurements as one atomic unit.
 
@@ -173,7 +193,8 @@ class PrivacySession:
                     # Fall through with the original argument so as_request
                     # raises its descriptive PlanError.
                     pass
-        return execute_batch(self, requests)
+        with self._measure_lock:
+            return execute_batch(self, requests)
 
     # ------------------------------------------------------------------
     def environment(self) -> dict[str, WeightedDataset]:
@@ -383,11 +404,12 @@ class Queryable:
         """Release a single clamped, weighted sum with Laplace noise."""
         costs = self.privacy_cost(epsilon)
         label = query_name or f"noisy_sum(eps={epsilon:g})"
-        self._session.ledger.charge(costs, description=label)
-        exact = self._session.executor.evaluate(self._plan)
-        return noisy_sum(
-            exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
-        )
+        with self._session.measure_lock:
+            self._session.ledger.charge(costs, description=label)
+            exact = self._session.executor.evaluate(self._plan)
+            return noisy_sum(
+                exact, epsilon, value_selector, clamp=clamp, noise=self._session.noise
+            )
 
     # ------------------------------------------------------------------
     # Escape hatch (no privacy!)

@@ -20,7 +20,7 @@ operators (:mod:`repro.dataflow.operators`) are tested against.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 from typing import Any, Callable
 
 from .dataset import WeightedDataset

@@ -50,3 +50,21 @@ class DataflowError(ReproError):
 
 class GraphError(ReproError):
     """Raised on invalid graph operations (self-loops, missing vertices...)."""
+
+
+class ServiceError(ReproError):
+    """Raised on invalid use of the measurement service (:mod:`repro.service`).
+
+    Examples: measuring against an unknown session, requesting a query the
+    session does not host, or re-creating a session under a taken name.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the service refuses a request for backpressure.
+
+    A session's pending-measurement queue is bounded; once it is full new
+    submissions are rejected immediately rather than queued without limit, so
+    a slow tenant cannot exhaust server memory.  Clients should retry with
+    backoff (the HTTP layer maps this to status 503).
+    """

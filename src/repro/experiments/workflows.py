@@ -50,7 +50,6 @@ from ..graph import (
 from ..graph.statistics import (
     assortativity,
     degree_sequence,
-    joint_degree_distribution,
     summarize,
     triangle_count,
 )

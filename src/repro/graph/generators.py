@@ -21,8 +21,7 @@ The paper's evaluation needs several kinds of graphs:
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

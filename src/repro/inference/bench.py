@@ -24,8 +24,6 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-import numpy as np
-
 from ..analyses import (
     node_degrees,
     protect_graph,

@@ -23,11 +23,9 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
-
-from typing import Callable
 
 from ..core.aggregation import NoisyCountResult
 from ..graph.graph import Graph

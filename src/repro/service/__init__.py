@@ -1,0 +1,46 @@
+"""wPINQ as a service: concurrent, multi-tenant measurement serving.
+
+The paper frames the platform as an interactive service — analysts submit
+measurement requests against protected datasets and the system answers while
+the ledger enforces sequential composition.  This package is that serving
+layer, built on the thread-safe budget accounting of :mod:`repro.core.budget`:
+
+:mod:`repro.service.registry`
+    Named :class:`~repro.core.queryable.PrivacySession` hosting (one per
+    tenant/dataset) with per-session locks, curated named queries, and an
+    append-only audit log.
+:mod:`repro.service.scheduler`
+    Group-commit request scheduling: concurrent measurements against one
+    session fuse into a single batched executor pass (N clients ≈ one plan
+    walk), with bounded queues for backpressure and per-request isolation of
+    budget refusals.
+:mod:`repro.service.cache`
+    Answer reuse keyed by (plan identity, ε): a repeated identical
+    measurement replays the previously released noisy answer at zero
+    additional budget, which also makes the service idempotent under retries.
+:mod:`repro.service.core`
+    The :class:`MeasurementService` facade tying the three together.
+:mod:`repro.service.http`
+    A stdlib HTTP/JSON transport (``repro serve``) and the matching
+    :class:`ServiceClient`.
+"""
+
+from .cache import AnswerCache
+from .core import MeasurementService
+from .http import ServiceClient, ServiceHTTPServer, serve
+from .registry import AuditEvent, HostedSession, SessionRegistry, default_query_builders
+from .scheduler import BatchingScheduler, MeasurementAnswer
+
+__all__ = [
+    "AnswerCache",
+    "AuditEvent",
+    "BatchingScheduler",
+    "HostedSession",
+    "MeasurementAnswer",
+    "MeasurementService",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "SessionRegistry",
+    "default_query_builders",
+    "serve",
+]

@@ -1,0 +1,120 @@
+"""The measurement service facade: registry + scheduler + answer cache.
+
+:class:`MeasurementService` is the transport-independent heart of
+``repro serve``: it hosts named tenant sessions, admits measurement requests
+through the thread-safe budget ledger, fuses concurrent same-session requests
+into batched executor passes, and replays previously released answers for
+free.  The HTTP layer (:mod:`repro.service.http`) is a thin JSON shim over
+this object; tests and embedded use drive it directly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.dataset import WeightedDataset
+from ..core.queryable import Queryable
+from .cache import AnswerCache
+from .registry import AuditEvent, HostedSession, SessionRegistry
+from .scheduler import BatchingScheduler, MeasurementAnswer
+
+__all__ = ["MeasurementService"]
+
+
+class MeasurementService:
+    """A concurrent, multi-tenant wPINQ measurement service.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads draining fused batches (cross-session parallelism).
+    max_pending:
+        Backpressure bound: per-session pending-request limit beyond which
+        submissions raise :class:`~repro.exceptions.ServiceOverloadedError`.
+    default_executor:
+        Execution backend given to sessions created without an explicit one.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_pending: int = 128,
+        default_executor: str = "eager",
+    ) -> None:
+        self.registry = SessionRegistry()
+        self.cache = AnswerCache()
+        self.scheduler = BatchingScheduler(
+            self.registry, cache=self.cache, workers=workers, max_pending=max_pending
+        )
+        self._default_executor = default_executor
+
+    # ------------------------------------------------------------------
+    # Tenant/session management
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        name: str,
+        records: WeightedDataset | Mapping[Any, float] | Iterable[Any],
+        total_epsilon: float = float("inf"),
+        seed: int | None = None,
+        executor: str | None = None,
+        source: str = "edges",
+        queries: Mapping[str, Callable[[Queryable], Queryable]] | None = None,
+    ) -> HostedSession:
+        """Host a new protected dataset under ``name`` (see the registry)."""
+        return self.registry.create(
+            name,
+            records,
+            total_epsilon=total_epsilon,
+            seed=seed,
+            executor=executor or self._default_executor,
+            source=source,
+            queries=queries,
+        )
+
+    def close_session(self, name: str) -> None:
+        """Drop a hosted session and evict its cached released answers."""
+        self.registry.close(name)
+        self.cache.drop_scope(name)
+
+    def sessions(self) -> list[dict[str, Any]]:
+        """JSON-friendly summaries of every hosted session."""
+        return self.registry.describe()
+
+    def session(self, name: str) -> HostedSession:
+        """The hosted session registered under ``name``."""
+        return self.registry.get(name)
+
+    def budget_report(self, name: str) -> dict[str, dict[str, float]]:
+        """Per-source budget summary of one hosted session."""
+        return self.registry.get(name).budget_report()
+
+    def audit(self, session: str | None = None) -> list[AuditEvent]:
+        """The audit log (optionally one session's slice)."""
+        return self.registry.audit(session)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def submit(self, session: str, query: str, epsilon: float) -> Future:
+        """Enqueue a measurement; resolves to a
+        :class:`~repro.service.scheduler.MeasurementAnswer`."""
+        return self.scheduler.submit(session, query, epsilon)
+
+    def measure(
+        self, session: str, query: str, epsilon: float, timeout: float | None = None
+    ) -> MeasurementAnswer:
+        """Blocking measurement against a hosted session."""
+        return self.submit(session, query, epsilon).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Scheduler and cache counters plus the hosted session names."""
+        stats: dict[str, Any] = self.scheduler.stats()
+        stats["sessions"] = self.registry.names()
+        return stats
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the scheduler's worker pool."""
+        self.scheduler.shutdown(wait=wait)

@@ -1,0 +1,405 @@
+"""Stdlib HTTP/JSON transport for the measurement service, plus a client.
+
+No third-party dependencies: the server is a
+:class:`http.server.ThreadingHTTPServer` (one handler thread per connection —
+exactly what the batching scheduler wants, since concurrent handler threads
+submitting against one session are fused into one executor pass), and
+:class:`ServiceClient` speaks the same JSON over :mod:`urllib`.
+
+Endpoints (all JSON)::
+
+    GET    /healthz                      liveness probe
+    GET    /v1/sessions                  hosted sessions + budgets
+    POST   /v1/sessions                  {name, records, total_epsilon?, seed?,
+                                          executor?, source?}
+    GET    /v1/sessions/NAME             one session's summary
+    DELETE /v1/sessions/NAME             drop a session
+    GET    /v1/sessions/NAME/budget      ledger report (total/spent/remaining)
+    GET    /v1/sessions/NAME/audit       that session's audit events
+    POST   /v1/sessions/NAME/measure     {query, epsilon} -> released values
+    GET    /v1/audit                     the full audit log
+    GET    /v1/stats                     scheduler + cache counters
+
+Records travel as JSON arrays and are converted to tuples on the way in
+(graph edges ``[u, v]`` become ``(u, v)``); released values come back as
+``[record, noisy_weight]`` pairs in the canonical release order.  Error
+responses carry ``{"error": message, "type": exception_name}`` and the client
+re-raises the matching library exception, so retry logic can distinguish
+backpressure (503, :class:`ServiceOverloadedError`) from an exhausted budget
+(403, :class:`BudgetExceededError`) — and because released answers are cached,
+a client that times out and retries gets the bit-identical answer without a
+second charge.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..exceptions import (
+    BudgetExceededError,
+    InvalidEpsilonError,
+    PlanError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from .core import MeasurementService
+from .scheduler import MeasurementAnswer
+
+__all__ = ["ServiceClient", "ServiceHTTPServer", "answer_to_json", "serve"]
+
+
+def records_from_json(records: Any) -> list[Any]:
+    """Convert JSON-decoded records to hashable Python records.
+
+    Lists become tuples recursively, so an edge list ``[[0, 1], [1, 2]]``
+    protects as the weighted multiset ``{(0, 1), (1, 2)}``.
+    """
+    if not isinstance(records, list):
+        raise PlanError("'records' must be a JSON array")
+
+    def convert(value: Any) -> Any:
+        if isinstance(value, list):
+            return tuple(convert(element) for element in value)
+        return value
+
+    return [convert(record) for record in records]
+
+
+def answer_to_json(answer: MeasurementAnswer) -> dict[str, Any]:
+    """Render a scheduler answer as the measure endpoint's JSON body."""
+    return {
+        "session": answer.session,
+        "query": answer.query,
+        "epsilon": answer.epsilon,
+        "cached": answer.cached,
+        "batch_size": answer.batch_size,
+        "charged": answer.charged,
+        "values": [[record, value] for record, value in answer.result.items()],
+        "total": answer.result.total(),
+    }
+
+
+_STATUS_FOR = (
+    (ServiceOverloadedError, 503),
+    (BudgetExceededError, 403),
+    (ServiceError, 404),
+    (InvalidEpsilonError, 400),
+    (PlanError, 400),
+)
+
+
+def _status_for(exc: BaseException) -> int:
+    for kind, status in _STATUS_FOR:
+        if isinstance(exc, kind):
+            return status
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's :class:`MeasurementService`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ServiceHTTPServer"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    def _reply(self, payload: dict[str, Any], status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, exc: BaseException) -> None:
+        payload: dict[str, Any] = {"error": str(exc), "type": type(exc).__name__}
+        if isinstance(exc, BudgetExceededError):
+            payload["requested"] = exc.requested
+            payload["remaining"] = exc.remaining
+            payload["source"] = exc.source
+        self._reply(payload, status=_status_for(exc))
+
+    def _payload(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        decoded = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(decoded, dict):
+            raise PlanError("request body must be a JSON object")
+        return decoded
+
+    def _route(self) -> tuple[str, ...]:
+        return tuple(part for part in self.path.split("?", 1)[0].split("/") if part)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        service = self.server.service
+        route = self._route()
+        try:
+            if route == ("healthz",):
+                self._reply({"status": "ok", "sessions": service.registry.names()})
+            elif route == ("v1", "sessions"):
+                self._reply({"sessions": service.sessions()})
+            elif route == ("v1", "stats"):
+                self._reply(service.stats())
+            elif route == ("v1", "audit"):
+                self._reply({"events": [event.to_dict() for event in service.audit()]})
+            elif len(route) == 3 and route[:2] == ("v1", "sessions"):
+                self._reply(service.session(route[2]).describe())
+            elif len(route) == 4 and route[:2] == ("v1", "sessions") and route[3] == "budget":
+                self._reply({"budget": service.budget_report(route[2])})
+            elif len(route) == 4 and route[:2] == ("v1", "sessions") and route[3] == "audit":
+                events = service.audit(route[2])
+                self._reply({"events": [event.to_dict() for event in events]})
+            else:
+                self._reply({"error": "not found", "type": "ServiceError"}, 404)
+        except Exception as exc:  # noqa: BLE001 - every error becomes JSON
+            self._error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
+        service = self.server.service
+        route = self._route()
+        try:
+            payload = self._payload()
+            if route == ("v1", "sessions"):
+                try:
+                    name = payload["name"]
+                    records = records_from_json(payload["records"])
+                except KeyError as exc:
+                    raise PlanError(f"missing required field {exc.args[0]!r}") from exc
+                try:
+                    hosted = service.create_session(
+                        name,
+                        records,
+                        total_epsilon=float(payload.get("total_epsilon", float("inf"))),
+                        seed=payload.get("seed"),
+                        executor=payload.get("executor"),
+                        source=payload.get("source", "edges"),
+                    )
+                except ServiceError as exc:
+                    # Name conflicts are the one ServiceError that is not a
+                    # failed lookup: answer 409, not 404.
+                    self._reply({"error": str(exc), "type": type(exc).__name__}, 409)
+                    return
+                self._reply(hosted.describe(), status=201)
+            elif len(route) == 4 and route[:2] == ("v1", "sessions") and route[3] == "measure":
+                try:
+                    query = payload["query"]
+                    epsilon = payload["epsilon"]
+                except KeyError as exc:
+                    raise PlanError(f"missing required field {exc.args[0]!r}") from exc
+                try:
+                    answer = service.measure(
+                        route[2], query, epsilon, timeout=self.server.measure_timeout
+                    )
+                except TimeoutError as exc:
+                    # The measurement is still executing (and will charge the
+                    # budget when it completes): answer retryable-503, not
+                    # 500 — retrying the identical request collects the
+                    # released answer from the cache at no additional charge.
+                    raise ServiceOverloadedError(
+                        f"measurement did not complete within "
+                        f"{self.server.measure_timeout:g}s and is still "
+                        f"executing; retry the identical request to collect "
+                        f"its released answer without additional charge"
+                    ) from exc
+                self._reply(answer_to_json(answer))
+            else:
+                self._reply({"error": "not found", "type": "ServiceError"}, 404)
+        except Exception as exc:  # noqa: BLE001 - every error becomes JSON
+            self._error(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming convention
+        service = self.server.service
+        route = self._route()
+        try:
+            if len(route) == 3 and route[:2] == ("v1", "sessions"):
+                service.close_session(route[2])
+                self._reply({"closed": route[2]})
+            else:
+                self._reply({"error": "not found", "type": "ServiceError"}, 404)
+        except Exception as exc:  # noqa: BLE001 - every error becomes JSON
+            self._error(exc)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MeasurementService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: MeasurementService,
+        verbose: bool = False,
+        measure_timeout: float | None = 300.0,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+        self.measure_timeout = measure_timeout
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (resolves port 0 to the bound port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, benchmarks)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Shut the listener and the service's worker pool down."""
+        self.shutdown()
+        self.server_close()
+        self.service.shutdown()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    service: MeasurementService | None = None,
+    workers: int | None = None,
+    max_pending: int = 128,
+    executor: str = "eager",
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Build a :class:`ServiceHTTPServer` (not yet serving).
+
+    Callers run ``server.serve_forever()`` (the CLI) or
+    ``server.serve_in_background()`` (tests/benchmarks); ``port=0`` binds an
+    ephemeral port, available afterwards via ``server.url``.
+    """
+    if service is None:
+        service = MeasurementService(
+            workers=workers, max_pending=max_pending, default_executor=executor
+        )
+    return ServiceHTTPServer((host, port), service, verbose=verbose)
+
+
+class ServiceClient:
+    """Python client for the measurement service's HTTP/JSON API.
+
+    Raises the library's own exceptions on errors: a 503 becomes
+    :class:`ServiceOverloadedError` (retry with backoff), a 403 becomes
+    :class:`BudgetExceededError` with the requested/remaining amounts, other
+    service failures raise :class:`ServiceError`.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                error = json.loads(exc.read().decode("utf-8"))
+            except Exception:  # noqa: BLE001 - malformed error body
+                error = {"error": str(exc), "type": "ServiceError"}
+            raise self._exception_for(exc.code, error) from exc
+
+    @staticmethod
+    def _exception_for(status: int, error: dict[str, Any]) -> ReproError:
+        message = error.get("error", f"HTTP {status}")
+        kind = error.get("type", "")
+        if status == 503 or kind == "ServiceOverloadedError":
+            return ServiceOverloadedError(message)
+        if kind == "BudgetExceededError":
+            return BudgetExceededError(
+                error.get("requested", 0.0),
+                error.get("remaining", 0.0),
+                source=error.get("source"),
+            )
+        if kind == "InvalidEpsilonError":
+            return InvalidEpsilonError(message)
+        if kind == "PlanError":
+            return PlanError(message)
+        return ServiceError(message)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def create_session(
+        self,
+        name: str,
+        records: list[Any],
+        total_epsilon: float = float("inf"),
+        seed: int | None = None,
+        executor: str | None = None,
+        source: str = "edges",
+    ) -> dict[str, Any]:
+        """Host a protected dataset on the server (records as JSON arrays)."""
+        payload: dict[str, Any] = {
+            "name": name,
+            "records": [
+                list(record) if isinstance(record, tuple) else record
+                for record in records
+            ],
+            "total_epsilon": total_epsilon,
+            "source": source,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if executor is not None:
+            payload["executor"] = executor
+        return self._request("POST", "/v1/sessions", payload)
+
+    def sessions(self) -> list[dict[str, Any]]:
+        """Summaries of every hosted session."""
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def session(self, name: str) -> dict[str, Any]:
+        """One hosted session's summary."""
+        return self._request("GET", f"/v1/sessions/{name}")
+
+    def close_session(self, name: str) -> dict[str, Any]:
+        """Drop a hosted session."""
+        return self._request("DELETE", f"/v1/sessions/{name}")
+
+    def budget(self, name: str) -> dict[str, dict[str, float]]:
+        """The session's ledger report (total/spent/remaining per source)."""
+        return self._request("GET", f"/v1/sessions/{name}/budget")["budget"]
+
+    def audit(self, name: str | None = None) -> list[dict[str, Any]]:
+        """Audit events — the full log, or one session's slice."""
+        path = "/v1/audit" if name is None else f"/v1/sessions/{name}/audit"
+        return self._request("GET", path)["events"]
+
+    def measure(self, session: str, query: str, epsilon: float) -> dict[str, Any]:
+        """Take one measurement; returns the released values payload."""
+        return self._request(
+            "POST",
+            f"/v1/sessions/{session}/measure",
+            {"query": query, "epsilon": epsilon},
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Scheduler and cache counters."""
+        return self._request("GET", "/v1/stats")

@@ -1,0 +1,265 @@
+"""Multi-tenant session hosting: named privacy sessions plus an audit log.
+
+The wPINQ paper frames the platform as an interactive *service*: analysts
+submit measurement requests against protected datasets and the system answers
+them while the ledger enforces sequential composition (Sections 2.1–2.3).
+This module is the hosting side of that picture:
+
+* a :class:`HostedSession` wraps one :class:`~repro.core.queryable
+  .PrivacySession` (one tenant / protected dataset), the queries it exposes by
+  name, and a per-session lock guarding the hosted-query table;
+* a :class:`SessionRegistry` maps tenant-chosen names to hosted sessions and
+  keeps an append-only audit log of every privacy-relevant event (session
+  creation, measurements with their per-source charges, cache hits, refusals).
+
+Hosting queries *by name* is deliberate: the trusted curator decides which
+plans exist, analysts only pick one and an ε, so nothing executable ever
+crosses the service boundary — and because each named query is built exactly
+once, its plan object is a stable identity for the answer-reuse cache and for
+shared-sub-plan fusion across concurrent clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.dataset import WeightedDataset
+from ..core.queryable import PrivacySession, Queryable
+from ..exceptions import ServiceError
+
+__all__ = [
+    "AuditEvent",
+    "HostedSession",
+    "SessionRegistry",
+    "default_query_builders",
+]
+
+
+def default_query_builders() -> dict[str, Callable[[Queryable], Queryable]]:
+    """The named graph analyses every hosted edge dataset serves by default.
+
+    Matches the queries ``repro explain`` knows about; each builder takes the
+    protected edges queryable and returns the measurement target.
+    """
+    from .. import analyses
+
+    return {
+        "degree-ccdf": analyses.degree_ccdf_query,
+        "degree-sequence": analyses.degree_sequence_query,
+        "node-count": analyses.node_count_query,
+        "jdd": analyses.joint_degree_query,
+        "tbd": analyses.triangles_by_degree_query,
+        "tbi": analyses.triangles_by_intersect_query,
+        "wedges": analyses.wedges_query,
+        "sbd": analyses.squares_by_degree_query,
+        "stars": analyses.star_degree_query,
+    }
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One privacy-relevant event recorded by the registry."""
+
+    sequence: int
+    timestamp: float
+    session: str
+    action: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly rendering (used by the HTTP audit endpoint)."""
+        return {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "session": self.session,
+            "action": self.action,
+            "detail": dict(self.detail),
+        }
+
+
+class HostedSession:
+    """One tenant's privacy session plus its named, measurable queries.
+
+    The hosted-query table is guarded by a per-session lock; the measurement
+    pipeline itself is serialised by the session's own
+    :attr:`~repro.core.queryable.PrivacySession.measure_lock`.
+    """
+
+    def __init__(self, name: str, session: PrivacySession, source: str) -> None:
+        self.name = name
+        self.session = session
+        self.source = source
+        self.created_at = time.time()
+        self._lock = threading.RLock()
+        self._queries: dict[str, Queryable] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def lock(self) -> threading.RLock:
+        """The lock guarding this session's hosted-query table."""
+        return self._lock
+
+    def register_query(self, name: str, queryable: Queryable) -> None:
+        """Expose ``queryable`` to clients under ``name``."""
+        if queryable.session is not self.session:
+            raise ServiceError(
+                f"query {name!r} belongs to a different privacy session"
+            )
+        with self._lock:
+            if name in self._queries:
+                raise ServiceError(
+                    f"session {self.name!r} already hosts a query named {name!r}"
+                )
+            self._queries[name] = queryable
+
+    def queryable(self, name: str) -> Queryable:
+        """The hosted query registered under ``name``."""
+        with self._lock:
+            try:
+                return self._queries[name]
+            except KeyError as exc:
+                raise ServiceError(
+                    f"session {self.name!r} hosts no query named {name!r}; "
+                    f"available: {sorted(self._queries)}"
+                ) from exc
+
+    def query_names(self) -> list[str]:
+        """The names of every hosted query."""
+        with self._lock:
+            return sorted(self._queries)
+
+    def budget_report(self) -> dict[str, dict[str, float]]:
+        """Per-source budget summary for this session."""
+        return self.session.budget_report()
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly summary used by the HTTP session listing."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "created_at": self.created_at,
+            "queries": self.query_names(),
+            "budget": self.budget_report(),
+        }
+
+
+class SessionRegistry:
+    """Thread-safe mapping of tenant names to hosted sessions, with auditing.
+
+    All mutating operations (create/close) and the audit log are guarded by
+    one registry lock; per-session state is guarded by the session's own
+    locks, so measurements against different sessions never contend here.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._sessions: dict[str, HostedSession] = {}
+        # Names being built by an in-flight create(): reserved up front so a
+        # racing duplicate create fails fast instead of building a whole
+        # session (dataset protection + nine query plans) only to discard it.
+        self._reserved: set[str] = set()
+        self._audit: list[AuditEvent] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        records: WeightedDataset | Mapping[Any, float] | Iterable[Any],
+        total_epsilon: float = float("inf"),
+        seed: int | None = None,
+        executor: str = "eager",
+        source: str = "edges",
+        queries: Mapping[str, Callable[[Queryable], Queryable]] | None = None,
+    ) -> HostedSession:
+        """Host a new session: protect ``records`` and build its named queries.
+
+        ``queries`` maps query names to builders taking the protected
+        queryable; it defaults to :func:`default_query_builders` (the graph
+        analyses of the paper).  Raises :class:`ServiceError` if ``name`` is
+        taken — checked up front (the name is reserved while the session is
+        built), so a racing duplicate create fails before paying for dataset
+        protection and query construction.
+        """
+        with self._lock:
+            if name in self._sessions or name in self._reserved:
+                raise ServiceError(f"a session named {name!r} already exists")
+            self._reserved.add(name)
+        try:
+            session = PrivacySession(seed=seed, executor=executor)
+            protected = session.protect(source, records, total_epsilon=total_epsilon)
+            hosted = HostedSession(name, session, source)
+            builders = (
+                dict(queries) if queries is not None else default_query_builders()
+            )
+            for query_name, builder in builders.items():
+                hosted.register_query(query_name, builder(protected))
+        except BaseException:
+            with self._lock:
+                self._reserved.discard(name)
+            raise
+        with self._lock:
+            self._reserved.discard(name)
+            self._sessions[name] = hosted
+        self.record(
+            name,
+            "create-session",
+            source=source,
+            total_epsilon=total_epsilon,
+            queries=sorted(builders),
+            executor=executor,
+        )
+        return hosted
+
+    def get(self, name: str) -> HostedSession:
+        """The hosted session registered under ``name``."""
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError as exc:
+                raise ServiceError(f"no session named {name!r}") from exc
+
+    def names(self) -> list[str]:
+        """Every hosted session name."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def close(self, name: str) -> None:
+        """Drop a hosted session (its budgets and datasets are released)."""
+        with self._lock:
+            if name not in self._sessions:
+                raise ServiceError(f"no session named {name!r}")
+            del self._sessions[name]
+        self.record(name, "close-session")
+
+    def describe(self) -> list[dict[str, Any]]:
+        """JSON-friendly summaries of every hosted session."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [hosted.describe() for hosted in sessions]
+
+    # ------------------------------------------------------------------
+    def record(self, session: str, action: str, **detail: Any) -> AuditEvent:
+        """Append one event to the audit log (thread-safe, monotonic order)."""
+        with self._lock:
+            self._sequence += 1
+            event = AuditEvent(
+                sequence=self._sequence,
+                timestamp=time.time(),
+                session=session,
+                action=action,
+                detail=detail,
+            )
+            self._audit.append(event)
+            return event
+
+    def audit(self, session: str | None = None) -> list[AuditEvent]:
+        """The audit log, optionally filtered to one session's events."""
+        with self._lock:
+            events = list(self._audit)
+        if session is None:
+            return events
+        return [event for event in events if event.session == session]

@@ -1,0 +1,339 @@
+"""Request scheduling: fuse concurrent measurements into one executor pass.
+
+N clients measuring the same hosted session at (nearly) the same moment
+should not cost N plan walks: :meth:`PrivacySession.measure` already charges
+a whole batch atomically and evaluates shared sub-plans once, so the
+scheduler's job is to *build* those batches out of concurrent traffic.
+
+The mechanics are a per-session pending queue drained by a worker pool:
+
+* :meth:`BatchingScheduler.submit` enqueues a request and returns a
+  :class:`~concurrent.futures.Future`; at most one drain task per session is
+  in flight, so while one fused batch executes, newly arriving requests pile
+  up and form the next batch — the classic group-commit pattern, which makes
+  batch sizes adapt to load with no tuning;
+* identical requests (same plan identity, same ε) inside a batch collapse to
+  a single measurement whose released answer every requester receives —
+  combined with the :class:`~repro.service.cache.AnswerCache` consulted both
+  on submit and again at drain time, a repeated question is answered once,
+  charged once, and replayed for free thereafter;
+* each session's queue is bounded (``max_pending``): a full queue rejects new
+  submissions with :class:`~repro.exceptions.ServiceOverloadedError` instead
+  of queueing without limit (backpressure);
+* a fused batch is all-or-nothing at the ledger, so when one tenant's request
+  would exhaust the budget the scheduler retries the batch's requests
+  individually — only the unaffordable measurements fail, innocent co-batched
+  requests still succeed.
+
+Distinct sessions drain on distinct workers and never contend: the worker
+pool size (``workers``) caps cross-tenant parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..exceptions import BudgetExceededError, ServiceOverloadedError
+from .cache import AnswerCache
+from .registry import HostedSession, SessionRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.aggregation import NoisyCountResult
+
+__all__ = ["BatchingScheduler", "MeasurementAnswer"]
+
+
+@dataclass
+class MeasurementAnswer:
+    """What the service returns for one measurement request."""
+
+    session: str
+    query: str
+    epsilon: float
+    result: "NoisyCountResult"
+    charged: dict[str, float]
+    cached: bool
+    batch_size: int
+
+
+@dataclass
+class _PendingRequest:
+    """One enqueued measurement awaiting its fused batch."""
+
+    query: str
+    epsilon: float
+    queryable: object
+    future: Future
+
+
+class BatchingScheduler:
+    """Fuses concurrent same-session measurements into batched executor passes."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        cache: AnswerCache | None = None,
+        workers: int | None = None,
+        max_pending: int = 128,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be a positive integer")
+        self._registry = registry
+        self._cache = cache if cache is not None else AnswerCache()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers or 4, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._queues: dict[str, list[_PendingRequest]] = {}
+        self._draining: set[str] = set()
+        self._max_pending = max_pending
+        self._requests = 0
+        self._batches = 0
+        self._largest_batch = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> AnswerCache:
+        """The answer-reuse cache consulted before any data is touched."""
+        return self._cache
+
+    def stats(self) -> dict[str, int]:
+        """Request/batch counters plus cache statistics."""
+        with self._lock:
+            stats = {
+                "requests": self._requests,
+                "batches": self._batches,
+                "largest_batch": self._largest_batch,
+            }
+        stats["cache"] = self._cache.stats()
+        return stats
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting drain tasks and (optionally) wait for them."""
+        self._pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    def submit(self, session_name: str, query: str, epsilon: float) -> Future:
+        """Enqueue one measurement; the future resolves to a
+        :class:`MeasurementAnswer` (or raises the measurement's error).
+
+        Raises :class:`~repro.exceptions.ServiceOverloadedError` immediately
+        when the session's pending queue is full, and
+        :class:`~repro.exceptions.ServiceError` for unknown sessions/queries.
+        """
+        hosted = self._registry.get(session_name)
+        queryable = hosted.queryable(query)
+        future: Future = Future()
+
+        cached = self._cache.get(session_name, queryable.plan, epsilon)
+        if cached is not None:
+            self._registry.record(
+                session_name, "cache-hit", query=query, epsilon=epsilon
+            )
+            future.set_result(
+                MeasurementAnswer(
+                    session=session_name,
+                    query=query,
+                    epsilon=float(epsilon),
+                    result=cached,
+                    charged={},
+                    cached=True,
+                    batch_size=0,
+                )
+            )
+            return future
+
+        pending = _PendingRequest(query, float(epsilon), queryable, future)
+        with self._lock:
+            queue = self._queues.setdefault(session_name, [])
+            if len(queue) >= self._max_pending:
+                raise ServiceOverloadedError(
+                    f"session {session_name!r} has {len(queue)} pending "
+                    f"measurements (limit {self._max_pending}); retry later"
+                )
+            queue.append(pending)
+            self._requests += 1
+            start_drain = session_name not in self._draining
+            if start_drain:
+                self._draining.add(session_name)
+        if start_drain:
+            self._pool.submit(self._drain, session_name)
+        return future
+
+    def measure(self, session_name: str, query: str, epsilon: float) -> MeasurementAnswer:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(session_name, query, epsilon).result()
+
+    @contextmanager
+    def hold_batches(self, session_name: str) -> Iterator[None]:
+        """Delay draining one idle session so queued requests fuse.
+
+        A deterministic testing/benchmark hook: while the context is held,
+        submissions against ``session_name`` enqueue without starting a drain
+        task; on exit everything queued drains as one fused batch.  Only
+        meaningful for a session with no drain in flight.
+        """
+        with self._lock:
+            was_draining = session_name in self._draining
+            self._draining.add(session_name)
+        try:
+            yield
+        finally:
+            start = False
+            with self._lock:
+                if not was_draining:
+                    if self._queues.get(session_name):
+                        start = True  # hand the held slot to a real drain task
+                    else:
+                        self._draining.discard(session_name)
+            if start:
+                self._pool.submit(self._drain, session_name)
+
+    # ------------------------------------------------------------------
+    def _drain(self, session_name: str) -> None:
+        """Worker loop: keep executing this session's fused batches until the
+        queue is empty, then release the drain slot."""
+        while True:
+            with self._lock:
+                batch = self._queues.get(session_name, [])
+                if not batch:
+                    self._draining.discard(session_name)
+                    return
+                self._queues[session_name] = []
+            try:
+                self._run_batch(session_name, batch)
+            except BaseException as exc:  # pragma: no cover - defensive
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+
+    def _run_batch(self, session_name: str, batch: list[_PendingRequest]) -> None:
+        hosted = self._registry.get(session_name)
+
+        # A batch that queued behind a running one may repeat measurements the
+        # previous batch just released: re-check the cache, then collapse the
+        # remaining identical (plan, ε) requests onto one measurement each.
+        groups: dict[tuple[int, float], list[_PendingRequest]] = {}
+        for item in batch:
+            answer = self._cache.get(session_name, item.queryable.plan, item.epsilon)
+            if answer is not None:
+                self._registry.record(
+                    session_name, "cache-hit", query=item.query, epsilon=item.epsilon
+                )
+                item.future.set_result(
+                    MeasurementAnswer(
+                        session=session_name,
+                        query=item.query,
+                        epsilon=item.epsilon,
+                        result=answer,
+                        charged={},
+                        cached=True,
+                        batch_size=0,
+                    )
+                )
+                continue
+            groups.setdefault((id(item.queryable.plan), item.epsilon), []).append(item)
+        if not groups:
+            return
+
+        representatives = [items[0] for items in groups.values()]
+        with self._lock:
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, len(representatives))
+        try:
+            released = hosted.session.measure(
+                *[
+                    (item.queryable, item.epsilon, item.query)
+                    for item in representatives
+                ]
+            )
+        except BudgetExceededError:
+            # The fused batch is all-or-nothing at the ledger; retry each
+            # measurement alone so only the unaffordable ones fail.
+            self._run_individually(session_name, hosted, representatives, groups)
+            return
+        except BaseException as exc:
+            for items in groups.values():
+                for item in items:
+                    item.future.set_exception(exc)
+            return
+
+        self._registry.record(
+            session_name,
+            "measure",
+            queries=[item.query for item in representatives],
+            epsilons=[item.epsilon for item in representatives],
+            fused=len(representatives),
+            charged=dict(released.charged),
+        )
+        for representative, result in zip(representatives, released):
+            self._finish_group(
+                session_name,
+                groups[(id(representative.queryable.plan), representative.epsilon)],
+                result,
+                batch_size=len(representatives),
+            )
+
+    def _run_individually(
+        self,
+        session_name: str,
+        hosted: HostedSession,
+        representatives: list[_PendingRequest],
+        groups: dict[tuple[int, float], list[_PendingRequest]],
+    ) -> None:
+        for item in representatives:
+            members = groups[(id(item.queryable.plan), item.epsilon)]
+            try:
+                released = hosted.session.measure(
+                    (item.queryable, item.epsilon, item.query)
+                )
+            except BaseException as exc:
+                if isinstance(exc, BudgetExceededError):
+                    self._registry.record(
+                        session_name,
+                        "refused",
+                        query=item.query,
+                        epsilon=item.epsilon,
+                        reason=str(exc),
+                    )
+                for member in members:
+                    member.future.set_exception(exc)
+                continue
+            self._registry.record(
+                session_name,
+                "measure",
+                queries=[item.query],
+                epsilons=[item.epsilon],
+                fused=1,
+                charged=dict(released.charged),
+            )
+            self._finish_group(session_name, members, released[0], batch_size=1)
+
+    def _finish_group(
+        self,
+        session_name: str,
+        members: list[_PendingRequest],
+        result: "NoisyCountResult",
+        batch_size: int,
+    ) -> None:
+        first = members[0]
+        # The answer is released now: later identical requests replay it free.
+        self._cache.put(session_name, first.queryable.plan, first.epsilon, result)
+        charged = first.queryable.privacy_cost(first.epsilon)
+        for index, member in enumerate(members):
+            member.future.set_result(
+                MeasurementAnswer(
+                    session=session_name,
+                    query=member.query,
+                    epsilon=member.epsilon,
+                    result=result,
+                    # Duplicates collapsed onto the first request are free.
+                    charged=dict(charged) if index == 0 else {},
+                    cached=index > 0,
+                    batch_size=batch_size,
+                )
+            )

@@ -75,12 +75,27 @@ class TestBudgetLedger:
         assert ledger.spent("edges") == pytest.approx(0.5)
         assert ledger.remaining("edges") == pytest.approx(1.5)
 
-    def test_register_is_idempotent(self):
+    def test_register_is_idempotent_for_matching_totals(self):
         ledger = BudgetLedger()
         first = ledger.register("edges", 2.0)
-        second = ledger.register("edges", 5.0)
+        second = ledger.register("edges", 2.0)
         assert first is second
         assert ledger.budget_for("edges").total == 2.0
+
+    def test_register_conflicting_total_raises(self):
+        ledger = BudgetLedger()
+        ledger.register("edges", 2.0)
+        with pytest.raises(InvalidEpsilonError, match="edges"):
+            ledger.register("edges", 5.0)
+        # The original budget is untouched by the refused re-registration.
+        assert ledger.budget_for("edges").total == 2.0
+
+    def test_register_infinite_total_idempotent_and_conflicting(self):
+        ledger = BudgetLedger()
+        first = ledger.register("edges", float("inf"))
+        assert ledger.register("edges", float("inf")) is first
+        with pytest.raises(InvalidEpsilonError):
+            ledger.register("edges", 1.0)
 
     def test_atomic_charge_across_sources(self):
         ledger = BudgetLedger()

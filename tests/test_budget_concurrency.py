@@ -1,0 +1,208 @@
+"""Regression tests for thread-safe budget accounting.
+
+The ledger is the component of the platform that must never be wrong: before
+this suite's fixes, :meth:`PrivacyBudget.charge` read ``remaining`` and then
+debited without holding a lock, so two racing charges could both pass the
+affordability check and jointly overspend ``total`` — and the two-phase
+:meth:`BudgetLedger.charge` could interleave its check phase with another
+thread's debits.  These tests hammer the accounting from many threads and
+assert the exact invariants that the races used to violate.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.core import BudgetLedger, PrivacyBudget, PrivacySession
+from repro.exceptions import BudgetExceededError, InvalidEpsilonError
+
+THREADS = 16
+
+
+@pytest.fixture(autouse=True)
+def aggressive_thread_switching():
+    """Shrink the GIL switch interval so the races this suite guards against
+    are reliably exposed (the pre-fix two-phase ledger charge loses atomicity
+    in well over half of the hammer trials below at this setting)."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def _hammer(threads: int, work) -> list:
+    """Run ``work(index)`` on ``threads`` threads behind a start barrier."""
+    barrier = threading.Barrier(threads)
+    results: list = [None] * threads
+    errors: list = []
+
+    def runner(index: int) -> None:
+        barrier.wait()
+        try:
+            results[index] = work(index)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=runner, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, f"worker raised: {errors[0]!r}"
+    return results
+
+
+class TestPrivacyBudgetConcurrency:
+    def test_concurrent_charges_never_overspend(self):
+        """16 threads race 0.01-ε charges against a 1.0 budget.
+
+        Exactly 100 charges fit; every interleaving beyond that must raise.
+        Before the lock this failed: racing threads both saw the same
+        ``remaining`` and both debited.
+        """
+        budget = PrivacyBudget(1.0)
+        attempts_each = 40  # 16 * 40 * 0.01 = 6.4 demanded vs 1.0 available
+
+        def work(index: int) -> int:
+            successes = 0
+            for _ in range(attempts_each):
+                try:
+                    budget.charge(0.01, f"thread-{index}")
+                except BudgetExceededError:
+                    pass
+                else:
+                    successes += 1
+            return successes
+
+        successes = sum(_hammer(THREADS, work))
+
+        assert budget.spent <= budget.total + 1e-9
+        assert successes == 100  # exactly total / epsilon charges fit
+        assert budget.spent == pytest.approx(successes * 0.01)
+        # Exact charge-count accounting: one history entry per success.
+        assert len(budget.history()) == successes
+
+    def test_concurrent_unequal_charges_stay_within_total(self):
+        budget = PrivacyBudget(1.0)
+
+        def work(index: int) -> float:
+            epsilon = 0.003 * (1 + index % 5)
+            charged = 0.0
+            for _ in range(60):
+                try:
+                    budget.charge(epsilon)
+                except BudgetExceededError:
+                    pass
+                else:
+                    charged += epsilon
+            return charged
+
+        charged = sum(_hammer(THREADS, work))
+        assert budget.spent <= budget.total + 1e-9
+        assert budget.spent == pytest.approx(charged)
+
+
+class TestBudgetLedgerConcurrency:
+    def test_two_phase_charge_is_atomic_under_threads(self):
+        """Multi-source charges stay all-or-nothing when raced.
+
+        Both sources are debited the same amount by every successful charge,
+        so their spends must agree exactly.  The pre-fix ledger checked every
+        budget and then charged them one by one with no lock held across the
+        phases: a racing thread could exhaust the smaller budget between the
+        check and the debit, so the per-budget re-check raised *mid-
+        transaction*, leaving the first source charged and the second not —
+        exactly the partial charge this asserts against (several trials, as
+        the interleaving is probabilistic).
+        """
+        for _ in range(6):
+            ledger = BudgetLedger()
+            ledger.register("a", 1.0)
+            ledger.register("b", 0.5)
+
+            def work(index: int) -> int:
+                successes = 0
+                for _ in range(40):
+                    try:
+                        ledger.charge({"a": 0.01, "b": 0.01}, f"thread-{index}")
+                    except BudgetExceededError:
+                        pass
+                    else:
+                        successes += 1
+                return successes
+
+            successes = sum(_hammer(THREADS, work))
+
+            assert successes == 50  # the smaller budget admits exactly 50
+            assert ledger.spent("a") == pytest.approx(0.5)
+            assert ledger.spent("b") == pytest.approx(0.5)
+            assert ledger.spent("b") <= 0.5 + 1e-9
+
+    def test_ledger_charge_atomic_against_direct_budget_charges(self):
+        """A two-phase ledger charge cannot interleave with direct charges."""
+        ledger = BudgetLedger()
+        ledger.register("a", 1.0)
+        ledger.register("b", 1.0)
+        budget_a = ledger.budget_for("a")
+
+        def work(index: int) -> None:
+            for _ in range(40):
+                try:
+                    if index % 2 == 0:
+                        ledger.charge({"a": 0.008, "b": 0.008})
+                    else:
+                        budget_a.charge(0.008)
+                except BudgetExceededError:
+                    pass
+
+        _hammer(THREADS, work)
+        assert ledger.spent("a") <= 1.0 + 1e-9
+        assert ledger.spent("b") <= 1.0 + 1e-9
+        # b is only charged through the ledger, and every such charge also
+        # charged a, so a's history can never lag b's.
+        assert len(budget_a.history()) >= len(ledger.budget_for("b").history())
+
+    def test_concurrent_register_yields_one_budget(self):
+        ledger = BudgetLedger()
+        budgets = _hammer(THREADS, lambda index: ledger.register("edges", 2.0))
+        assert all(budget is budgets[0] for budget in budgets)
+        assert ledger.budget_for("edges").total == 2.0
+
+    def test_register_conflicting_total_raises(self):
+        ledger = BudgetLedger()
+        ledger.register("edges", 2.0)
+        with pytest.raises(InvalidEpsilonError, match="edges"):
+            ledger.register("edges", 3.0)
+
+
+class TestSessionConcurrency:
+    def test_concurrent_noisy_counts_spend_exactly(self):
+        """8 threads share one session; the ledger never overspends.
+
+        The protected source has multiplicity 1 in the measured plan, so with
+        ε = 0.05 against a 1.0 budget exactly 20 measurements succeed no
+        matter how the threads interleave.
+        """
+        session = PrivacySession(seed=0)
+        records = session.protect("records", ["a", "b", "c"], total_epsilon=1.0)
+
+        def work(index: int) -> int:
+            successes = 0
+            for _ in range(5):
+                try:
+                    records.noisy_count(0.05, query_name=f"t{index}")
+                except BudgetExceededError:
+                    pass
+                else:
+                    successes += 1
+            return successes
+
+        successes = sum(_hammer(8, work))
+        assert successes == 20
+        assert session.spent_budget("records") == pytest.approx(1.0)
+        assert session.remaining_budget("records") == pytest.approx(0.0)

@@ -39,6 +39,15 @@ The package is organised as follows:
 ``repro.experiments``
     Shared harness used by the benchmark suite to regenerate the paper's
     tables and figures.
+``repro.service``
+    The interactive measurement service: multi-tenant session hosting,
+    group-commit request batching, answer replay, an HTTP/JSON transport
+    (``repro serve``) and fork-based multi-process workers.
+``repro.persistence``
+    Durability under the service: a write-ahead-logged sqlite ledger store
+    with snapshot compaction and exact crash recovery, the ``DurableLedger``
+    drop-in for ``BudgetLedger``, and per-tenant rate limiting / load
+    shedding.
 """
 
 from .core import (

@@ -28,6 +28,7 @@ as well as the concurrent measurement service (see README "Serving
 measurements")::
 
     python -m repro serve --port 8080 --serve-workers 8
+    python -m repro serve --ledger ledger.db --workers 4 --rate 50
 """
 
 from __future__ import annotations
@@ -417,7 +418,36 @@ def _run_serve(args: argparse.Namespace) -> int:
     plain ``curl``); concurrent measurements against one session are fused
     into single batched executor passes, and repeated identical measurements
     are answered from the released-answer cache at zero additional budget.
+
+    ``--ledger FILE`` makes the service durable (budgets, sessions, audit
+    log, and released answers survive crashes and restarts) and enables
+    ``--workers N`` multi-process serving over one shared ledger.  SIGINT
+    and SIGTERM shut down gracefully: stop accepting, drain queued batches,
+    take a final ledger snapshot, close the sqlite connection.
     """
+    import signal
+    import threading
+
+    if args.workers and args.workers > 1:
+        from .service.workers import run_workers
+
+        return run_workers(
+            args.host,
+            args.port,
+            args.workers,
+            service_kwargs={
+                "workers": args.serve_workers,
+                "max_pending": args.max_pending,
+                "default_executor": args.executor,
+                "ledger_path": args.ledger,
+                "snapshot_every": args.snapshot_every,
+                "rate_limit": args.rate,
+                "rate_burst": args.burst,
+                "max_total_pending": args.max_total_pending,
+            },
+            verbose=args.verbose,
+        )
+
     from .service import serve
 
     server = serve(
@@ -427,17 +457,37 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         executor=args.executor,
         verbose=args.verbose,
+        ledger=args.ledger,
+        snapshot_every=args.snapshot_every,
+        rate_limit=args.rate,
+        rate_burst=args.burst,
+        max_total_pending=args.max_total_pending,
     )
+    durable = f", ledger={args.ledger}" if args.ledger else ""
     print(
         f"repro serve — listening on {server.url} "
         f"(workers={args.serve_workers or 4}, max_pending={args.max_pending}, "
-        f"executor={args.executor})"
+        f"executor={args.executor}{durable})"
     )
+
+    class _ShutdownRequested(Exception):
+        pass
+
+    def _handle(signum: int, frame: object) -> None:
+        raise _ShutdownRequested()
+
+    # Signals are delivered to the main thread only; when embedded in a
+    # non-main thread (tests), fall back to KeyboardInterrupt handling.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+    except (_ShutdownRequested, KeyboardInterrupt):
         pass
     finally:
+        # stop() drains the scheduler, flushes the WAL (final snapshot) and
+        # closes the sqlite connection before the process exits.
         server.stop()
     return 0
 
@@ -549,6 +599,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="for 'serve': log every HTTP request to stderr",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help=(
+            "for 'serve': durable ledger file (sqlite, created if missing); "
+            "budgets, sessions, audit log and released answers survive "
+            "crashes and restarts"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "for 'serve': forked HTTP worker processes sharing one socket "
+            "and one --ledger file (default 1 = single process)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="for 'serve': ledger-log compaction cadence (commits between snapshots)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="for 'serve': per-session sustained requests/second (token bucket)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="for 'serve': token-bucket burst capacity (default 2x --rate)",
+    )
+    parser.add_argument(
+        "--max-total-pending",
+        type=int,
+        default=None,
+        help="for 'serve': global pending bound across sessions (load shedding)",
     )
     return parser
 

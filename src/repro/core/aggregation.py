@@ -133,6 +133,32 @@ class NoisyCountResult:
             self._values[record] = weight + self._noise.sample(self._epsilon)
         self._observed = set(self._values)
 
+    @classmethod
+    def from_released(
+        cls,
+        values: "dict[Any, float] | list[tuple[Any, float]]",
+        epsilon: float,
+        noise: LaplaceNoise | None = None,
+        plan=None,
+        query_name: str = "",
+    ) -> "NoisyCountResult":
+        """Rehydrate a previously *released* measurement without data access.
+
+        Used by the durable answer store: the noisy values were drawn and
+        published by an earlier incarnation of the service, so replaying them
+        verbatim reveals nothing new and costs no budget.  The protected data
+        is never consulted — values for records outside ``values`` are pure
+        noise drawn on demand, exactly as for a live result.
+        """
+        result = cls.__new__(cls)
+        result._epsilon = validate_epsilon(epsilon)
+        result._noise = noise if noise is not None else LaplaceNoise()
+        result._plan = plan
+        result.query_name = query_name
+        result._values = dict(values)
+        result._observed = set(result._values)
+        return result
+
     # ------------------------------------------------------------------
     @property
     def epsilon(self) -> float:

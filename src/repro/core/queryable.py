@@ -90,14 +90,23 @@ class PrivacySession:
         tiny inputs, vectorized for large ones), or a factory callable taking
         the session's environment mapping and returning an
         :class:`~repro.core.executor.Executor`.
+    ledger:
+        Optional budget ledger to charge against instead of a fresh
+        in-memory :class:`~repro.core.budget.BudgetLedger` — the measurement
+        service injects a durable write-ahead-logged ledger here so spent ε
+        survives restarts.
     """
 
     def __init__(
         self,
         seed: int | np.random.Generator | None = None,
         executor: str | Callable[[Mapping[str, WeightedDataset]], Executor] = "eager",
+        ledger: BudgetLedger | None = None,
     ) -> None:
-        self.ledger = BudgetLedger()
+        # An injected ledger lets the hosting layer substitute a durable
+        # write-ahead-logged one (repro.persistence.DurableLedger) without
+        # the session knowing; budgets still register through protect().
+        self.ledger = ledger if ledger is not None else BudgetLedger()
         self.noise = LaplaceNoise(seed)
         self._datasets: dict[str, WeightedDataset] = {}
         self._executor = create_executor(executor, self._datasets)

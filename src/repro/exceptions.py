@@ -65,6 +65,27 @@ class ServiceOverloadedError(ServiceError):
 
     A session's pending-measurement queue is bounded; once it is full new
     submissions are rejected immediately rather than queued without limit, so
-    a slow tenant cannot exhaust server memory.  Clients should retry with
-    backoff (the HTTP layer maps this to status 503).
+    a slow tenant cannot exhaust server memory.  Load shedding (the global
+    pending bound across all sessions) raises the same error.  Clients should
+    retry with backoff (the HTTP layer maps this to status 503).
     """
+
+
+class RateLimitedError(ServiceOverloadedError):
+    """Raised when a tenant exceeds its per-session request rate.
+
+    Distinct from generic overload: the refusal is attributable to the one
+    tenant, not to server-wide pressure, and carries a ``retry_after`` hint
+    (seconds until the tenant's token bucket holds a token again).  The HTTP
+    layer maps this to status 429.
+    """
+
+    def __init__(self, message, retry_after=0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class PersistenceError(ServiceError):
+    """Raised on invalid use of the durable ledger store
+    (:mod:`repro.persistence`), e.g. serving multiple processes without a
+    ledger file, or re-opening a corrupted store."""

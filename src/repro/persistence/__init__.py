@@ -1,0 +1,43 @@
+"""Durable persistence for the measurement service's privacy state.
+
+In wPINQ the budget ledger *is* the privacy guarantee: every released
+measurement is sound only if cumulative ε spend is tracked for the lifetime
+of the protected data.  This package makes that tracking survive process
+death, and provides the admission controls a durable multi-process service
+needs:
+
+:mod:`repro.persistence.wal`
+    :class:`LedgerStore` — a WAL-mode sqlite file holding the budget
+    write-ahead log (intent/commit charge transactions), snapshots, the
+    append-only audit log, released answers, and hosted-session definitions.
+    Safe to share between worker processes (serialized write transactions).
+:mod:`repro.persistence.snapshot`
+    Snapshot state model and :func:`replay` — rebuilds the exact pre-crash
+    ledger state from snapshot + log tail, dropping unresolved charge intents
+    (which, by the commit protocol, never correspond to released answers).
+:mod:`repro.persistence.ledger`
+    :class:`DurableLedger` — the drop-in
+    :class:`~repro.core.budget.BudgetLedger` that writes through the store,
+    recovers spend on registration, and checks affordability against durable
+    cross-process state.
+:mod:`repro.persistence.ratelimit`
+    Per-tenant :class:`TokenBucket`/:class:`RateLimiter` admission control
+    and a global :class:`LoadShedder`, layered under the scheduler's
+    per-session backpressure.
+"""
+
+from .ledger import DurableLedger
+from .ratelimit import LoadShedder, RateLimiter, TokenBucket
+from .snapshot import BudgetState, LedgerState, replay
+from .wal import LedgerStore
+
+__all__ = [
+    "BudgetState",
+    "DurableLedger",
+    "LedgerState",
+    "LedgerStore",
+    "LoadShedder",
+    "RateLimiter",
+    "TokenBucket",
+    "replay",
+]

@@ -1,0 +1,146 @@
+"""A :class:`~repro.core.budget.BudgetLedger` backed by the durable store.
+
+``DurableLedger`` is a drop-in replacement for the in-memory ledger that a
+:class:`~repro.core.queryable.PrivacySession` charges against, with three
+additional guarantees:
+
+* **Durability** — every registration and every charge is written to the
+  write-ahead log (:mod:`repro.persistence.wal`) *before* it is acknowledged;
+  a charge is only applied in memory after its commit record is on disk, so
+  the in-memory state is always a replica of durable state, never ahead of it.
+* **Crash recovery** — :meth:`register` adopts the spend recovered from the
+  store, so re-opening a ledger (or re-creating a hosted session after a
+  restart) resumes from the exact committed pre-crash spend: no released ε is
+  ever forgotten.
+* **Cross-process exactness** — the affordability check of a charge runs
+  inside the store's serialized write transaction against *durable* spends,
+  so workers in different processes sharing one ledger file can never jointly
+  overspend a budget; in-memory copies are re-synced from the store on every
+  charge and on :meth:`report`.
+
+The in-memory two-phase locking of the base class is retained for
+thread-level atomicity within one process; the store's single-writer
+transaction provides the process-level serialization on top.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+from ..core.budget import BudgetLedger, PrivacyBudget
+from ..core.laplace import validate_epsilon
+from ..exceptions import BudgetExceededError
+from .wal import LedgerStore
+
+__all__ = ["DurableLedger"]
+
+
+class DurableLedger(BudgetLedger):
+    """Budget ledger whose source of truth is a :class:`LedgerStore`.
+
+    Parameters
+    ----------
+    store:
+        The durable store (one sqlite file, possibly shared with other
+        worker processes).
+    scope:
+        The namespace of this ledger's budgets inside the store — the hosted
+        session name in the measurement service, so distinct tenants' budgets
+        never collide even when their protected sources share a name.
+    """
+
+    def __init__(self, store: LedgerStore, scope: str) -> None:
+        super().__init__()
+        self._store = store
+        self._scope = scope
+
+    @property
+    def store(self) -> LedgerStore:
+        """The durable store this ledger writes through."""
+        return self._store
+
+    @property
+    def scope(self) -> str:
+        """This ledger's namespace inside the store."""
+        return self._scope
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, total_epsilon: float) -> PrivacyBudget:
+        """Register a source durably, adopting any recovered spend.
+
+        The durable registration happens first (it also rejects a total that
+        conflicts with a previous incarnation's), then the in-memory budget
+        is created and synced to the recovered spent ε — which is non-zero
+        exactly when this (scope, source) pair spent budget before a restart.
+        """
+        if total_epsilon != float("inf"):
+            total_epsilon = validate_epsilon(total_epsilon)
+        total, recovered_spent = self._store.register(
+            self._scope, name, total_epsilon
+        )
+        budget = super().register(name, total)
+        if recovered_spent > budget.spent:
+            budget._sync_spent(recovered_spent)
+            budget._record_charge(
+                recovered_spent, "(recovered from durable ledger)"
+            )
+        return budget
+
+    def charge(self, costs: dict[str, float], description: str = "") -> None:
+        """Charge through the write-ahead log, then mirror in memory.
+
+        Order of operations: in-memory pre-check (cheap, catches the common
+        refusal without touching disk) → durable intent append → durable
+        affordability check + commit record → in-memory debit synced to the
+        authoritative durable spends.  On a durable refusal — possible even
+        after the pre-check passed, when another worker spent concurrently —
+        the in-memory budgets are refreshed so reads reflect the spends that
+        caused it, and :class:`BudgetExceededError` propagates with nothing
+        charged (an ``abort`` record resolves the intents).
+        """
+        validated = {name: validate_epsilon(cost) for name, cost in costs.items()}
+        budgets = {name: self.budget_for(name) for name in validated}
+        with ExitStack() as stack:
+            for name in sorted(budgets):
+                stack.enter_context(budgets[name].lock)
+            for name, cost in validated.items():
+                if not budgets[name].can_afford(cost):
+                    raise BudgetExceededError(
+                        cost, budgets[name].remaining, source=name
+                    )
+            try:
+                spent_after = self._store.charge(
+                    self._scope, validated, description
+                )
+            except BudgetExceededError:
+                self._refresh_locked(budgets)
+                raise
+            for name, cost in validated.items():
+                budgets[name]._sync_spent(spent_after[name])
+                budgets[name]._record_charge(cost, description)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Budget summary, re-synced from the durable store first.
+
+        The refresh makes the report exact in multi-worker deployments:
+        charges committed by sibling processes since this worker's last
+        charge become visible.
+        """
+        self.refresh()
+        return super().report()
+
+    def refresh(self) -> None:
+        """Re-sync every in-memory budget to the durable committed spends."""
+        with self._lock:
+            budgets = dict(self._budgets)
+        with ExitStack() as stack:
+            for name in sorted(budgets):
+                stack.enter_context(budgets[name].lock)
+            self._refresh_locked(budgets)
+
+    def _refresh_locked(self, budgets: dict[str, PrivacyBudget]) -> None:
+        durable = self._store.spent(self._scope)
+        for name, budget in budgets.items():
+            spent = durable.get(name)
+            if spent is not None and spent != budget.spent:
+                budget._sync_spent(spent)

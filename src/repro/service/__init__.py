@@ -23,6 +23,14 @@ layer, built on the thread-safe budget accounting of :mod:`repro.core.budget`:
 :mod:`repro.service.http`
     A stdlib HTTP/JSON transport (``repro serve``) and the matching
     :class:`ServiceClient`.
+:mod:`repro.service.workers`
+    Fork-based multi-process serving (``repro serve --workers N``) sharing
+    one durable ledger file (:mod:`repro.persistence`) across workers.
+
+With a durable ledger (``repro serve --ledger FILE``) the service is
+restart-safe: budgets, sessions, audit events, and released answers are
+write-ahead logged and recovered exactly on the next boot — see README
+"Durability & operations".
 """
 
 from .cache import AnswerCache
@@ -30,6 +38,7 @@ from .core import MeasurementService
 from .http import ServiceClient, ServiceHTTPServer, serve
 from .registry import AuditEvent, HostedSession, SessionRegistry, default_query_builders
 from .scheduler import BatchingScheduler, MeasurementAnswer
+from .workers import run_workers
 
 __all__ = [
     "AnswerCache",
@@ -42,5 +51,6 @@ __all__ = [
     "ServiceHTTPServer",
     "SessionRegistry",
     "default_query_builders",
+    "run_workers",
     "serve",
 ]

@@ -34,6 +34,21 @@ class MeasurementService:
         submissions raise :class:`~repro.exceptions.ServiceOverloadedError`.
     default_executor:
         Execution backend given to sessions created without an explicit one.
+    ledger_path:
+        Optional path to a durable ledger file (sqlite, created if missing).
+        When given, the service becomes restart-safe: budgets charge through
+        a write-ahead-logged :class:`~repro.persistence.ledger.DurableLedger`,
+        sessions / audit events / released answers persist, everything
+        recorded before a crash is recovered on the next open, and several
+        worker *processes* may share the file (``repro serve --workers N``).
+    snapshot_every:
+        Ledger-log compaction cadence (commits between snapshots).
+    rate_limit / rate_burst:
+        Per-tenant token-bucket admission: sustained requests/second and
+        burst capacity per session (None disables rate limiting).
+    max_total_pending:
+        Global load-shedding bound on pending measurements across all
+        sessions (None disables shedding).
     """
 
     def __init__(
@@ -41,13 +56,63 @@ class MeasurementService:
         workers: int | None = None,
         max_pending: int = 128,
         default_executor: str = "eager",
+        ledger_path: str | None = None,
+        snapshot_every: int = 64,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
+        max_total_pending: int | None = None,
     ) -> None:
-        self.registry = SessionRegistry()
+        self.store = None
+        if ledger_path is not None:
+            from ..persistence.wal import LedgerStore
+
+            self.store = LedgerStore(ledger_path, snapshot_every=snapshot_every)
+        rate_limiter = None
+        if rate_limit is not None:
+            from ..persistence.ratelimit import RateLimiter
+
+            rate_limiter = RateLimiter(rate_limit, rate_burst)
+        shedder = None
+        if max_total_pending is not None:
+            from ..persistence.ratelimit import LoadShedder
+
+            shedder = LoadShedder(max_total_pending)
+        self._rate_limiter = rate_limiter
+        self.registry = SessionRegistry(
+            store=self.store, on_restore=self._warm_session
+        )
         self.cache = AnswerCache()
         self.scheduler = BatchingScheduler(
-            self.registry, cache=self.cache, workers=workers, max_pending=max_pending
+            self.registry,
+            cache=self.cache,
+            workers=workers,
+            max_pending=max_pending,
+            store=self.store,
+            rate_limiter=rate_limiter,
+            shedder=shedder,
         )
         self._default_executor = default_executor
+        if self.store is not None:
+            # Warm boot: re-materialise every persisted session (each one's
+            # durable ledger recovers its committed spend) and, through
+            # _warm_session, refill the answer cache from persisted releases.
+            self.registry.load_persisted()
+
+    def _warm_session(self, hosted: HostedSession) -> None:
+        """Refill the answer cache from the durable released-answer store."""
+        if self.store is None:
+            return
+        from ..core.aggregation import NoisyCountResult
+
+        hosted_queries = set(hosted.query_names())
+        for query, epsilon, values in self.store.releases_for(hosted.name):
+            if query not in hosted_queries:
+                continue
+            plan = hosted.queryable(query).plan
+            result = NoisyCountResult.from_released(
+                values, epsilon, plan=plan, query_name=query
+            )
+            self.cache.put(hosted.name, plan, epsilon, result)
 
     # ------------------------------------------------------------------
     # Tenant/session management
@@ -74,9 +139,15 @@ class MeasurementService:
         )
 
     def close_session(self, name: str) -> None:
-        """Drop a hosted session and evict its cached released answers."""
+        """Drop a hosted session and evict its cached released answers.
+
+        With a durable ledger, the scope's budget records survive the close:
+        re-creating the same name resumes its committed ε spend.
+        """
         self.registry.close(name)
         self.cache.drop_scope(name)
+        if self._rate_limiter is not None:
+            self._rate_limiter.forget(name)
 
     def sessions(self) -> list[dict[str, Any]]:
         """JSON-friendly summaries of every hosted session."""
@@ -113,8 +184,18 @@ class MeasurementService:
         """Scheduler and cache counters plus the hosted session names."""
         stats: dict[str, Any] = self.scheduler.stats()
         stats["sessions"] = self.registry.names()
+        if self.store is not None:
+            stats["store"] = self.store.stats()
         return stats
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the scheduler's worker pool."""
+        """Drain the scheduler's worker pool, then flush and close the store.
+
+        With ``wait=True`` (the default, and what ``repro serve`` uses on
+        SIGINT/SIGTERM) every queued batch drains before the durable ledger
+        takes its final snapshot and closes — an orderly shutdown leaves no
+        unresolved intents in the write-ahead log.
+        """
         self.scheduler.shutdown(wait=wait)
+        if self.store is not None:
+            self.store.close()

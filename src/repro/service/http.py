@@ -44,6 +44,7 @@ from ..exceptions import (
     BudgetExceededError,
     InvalidEpsilonError,
     PlanError,
+    RateLimitedError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
@@ -86,6 +87,7 @@ def answer_to_json(answer: MeasurementAnswer) -> dict[str, Any]:
 
 
 _STATUS_FOR = (
+    (RateLimitedError, 429),
     (ServiceOverloadedError, 503),
     (BudgetExceededError, 403),
     (ServiceError, 404),
@@ -126,6 +128,8 @@ class _Handler(BaseHTTPRequestHandler):
             payload["requested"] = exc.requested
             payload["remaining"] = exc.remaining
             payload["source"] = exc.source
+        if isinstance(exc, RateLimitedError):
+            payload["retry_after"] = exc.retry_after
         self._reply(payload, status=_status_for(exc))
 
     def _payload(self) -> dict[str, Any]:
@@ -232,7 +236,14 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`MeasurementService`."""
+    """A threading HTTP server bound to one :class:`MeasurementService`.
+
+    ``listen_socket`` adopts an already-bound, already-listening socket
+    instead of binding a fresh one — the multi-process server
+    (:mod:`repro.service.workers`) binds once in the parent and hands each
+    forked worker the shared socket, so the kernel load-balances accepted
+    connections across workers.
+    """
 
     daemon_threads = True
 
@@ -242,8 +253,15 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: MeasurementService,
         verbose: bool = False,
         measure_timeout: float | None = 300.0,
+        listen_socket=None,
     ) -> None:
-        super().__init__(address, _Handler)
+        if listen_socket is not None:
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+        else:
+            super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
         self.measure_timeout = measure_timeout
@@ -275,18 +293,34 @@ def serve(
     max_pending: int = 128,
     executor: str = "eager",
     verbose: bool = False,
+    ledger: str | None = None,
+    snapshot_every: int = 64,
+    rate_limit: float | None = None,
+    rate_burst: float | None = None,
+    max_total_pending: int | None = None,
+    listen_socket=None,
 ) -> ServiceHTTPServer:
     """Build a :class:`ServiceHTTPServer` (not yet serving).
 
     Callers run ``server.serve_forever()`` (the CLI) or
     ``server.serve_in_background()`` (tests/benchmarks); ``port=0`` binds an
-    ephemeral port, available afterwards via ``server.url``.
+    ephemeral port, available afterwards via ``server.url``.  ``ledger``
+    makes the service durable (see :class:`MeasurementService`).
     """
     if service is None:
         service = MeasurementService(
-            workers=workers, max_pending=max_pending, default_executor=executor
+            workers=workers,
+            max_pending=max_pending,
+            default_executor=executor,
+            ledger_path=ledger,
+            snapshot_every=snapshot_every,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
+            max_total_pending=max_total_pending,
         )
-    return ServiceHTTPServer((host, port), service, verbose=verbose)
+    return ServiceHTTPServer(
+        (host, port), service, verbose=verbose, listen_socket=listen_socket
+    )
 
 
 class ServiceClient:
@@ -327,6 +361,10 @@ class ServiceClient:
     def _exception_for(status: int, error: dict[str, Any]) -> ReproError:
         message = error.get("error", f"HTTP {status}")
         kind = error.get("type", "")
+        if status == 429 or kind == "RateLimitedError":
+            return RateLimitedError(
+                message, retry_after=error.get("retry_after", 0.0)
+            )
         if status == 503 or kind == "ServiceOverloadedError":
             return ServiceOverloadedError(message)
         if kind == "BudgetExceededError":

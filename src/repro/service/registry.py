@@ -21,14 +21,20 @@ shared-sub-plan fusion across concurrent clients.
 
 from __future__ import annotations
 
+import json
+import os
+import sqlite3
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..core.dataset import WeightedDataset
 from ..core.queryable import PrivacySession, Queryable
 from ..exceptions import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..persistence.wal import LedgerStore
 
 __all__ = [
     "AuditEvent",
@@ -61,13 +67,21 @@ def default_query_builders() -> dict[str, Callable[[Queryable], Queryable]]:
 
 @dataclass(frozen=True)
 class AuditEvent:
-    """One privacy-relevant event recorded by the registry."""
+    """One privacy-relevant event recorded by the registry.
+
+    ``sequence`` is monotonic and — when the registry is backed by a durable
+    store — allocated by the store itself, so events are totally ordered
+    across process restarts and across concurrent worker processes sharing
+    one ledger file; ``worker`` (the recording process id) disambiguates
+    which worker emitted each event when logs are read back merged.
+    """
 
     sequence: int
     timestamp: float
     session: str
     action: str
     detail: dict[str, Any] = field(default_factory=dict)
+    worker: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly rendering (used by the HTTP audit endpoint)."""
@@ -77,6 +91,7 @@ class AuditEvent:
             "session": self.session,
             "action": self.action,
             "detail": dict(self.detail),
+            "worker": self.worker,
         }
 
 
@@ -152,10 +167,25 @@ class SessionRegistry:
     All mutating operations (create/close) and the audit log are guarded by
     one registry lock; per-session state is guarded by the session's own
     locks, so measurements against different sessions never contend here.
+
+    With a durable ``store`` (:class:`~repro.persistence.wal.LedgerStore`)
+    the registry becomes restart- and multi-worker-safe: sessions charge
+    through a :class:`~repro.persistence.ledger.DurableLedger` scoped to
+    their name, session definitions and the audit log are persisted, and a
+    session created by a previous incarnation (or a sibling worker process)
+    is re-materialised on demand with its committed ε spend intact.
+    ``on_restore`` is invoked for each re-materialised session — the service
+    uses it to warm the answer cache from the store's released answers.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        store: "LedgerStore | None" = None,
+        on_restore: Callable[[HostedSession], None] | None = None,
+    ) -> None:
         self._lock = threading.RLock()
+        self._store = store
+        self._on_restore = on_restore
         self._sessions: dict[str, HostedSession] = {}
         # Names being built by an in-flight create(): reserved up front so a
         # racing duplicate create fails fast instead of building a whole
@@ -163,6 +193,11 @@ class SessionRegistry:
         self._reserved: set[str] = set()
         self._audit: list[AuditEvent] = []
         self._sequence = 0
+
+    @property
+    def store(self) -> "LedgerStore | None":
+        """The durable store backing this registry (None when in-memory)."""
+        return self._store
 
     # ------------------------------------------------------------------
     def create(
@@ -183,13 +218,27 @@ class SessionRegistry:
         taken — checked up front (the name is reserved while the session is
         built), so a racing duplicate create fails before paying for dataset
         protection and query construction.
+
+        With a durable store the session charges through a
+        :class:`~repro.persistence.ledger.DurableLedger` scoped to ``name``,
+        and its definition is persisted so restarts and sibling workers can
+        re-materialise it — except when custom ``queries`` builders, a
+        callable ``executor``, or a Generator seed make the definition
+        unserialisable, in which case budgets and audit are still durable but
+        the session itself dies with the process.
         """
         with self._lock:
             if name in self._sessions or name in self._reserved:
                 raise ServiceError(f"a session named {name!r} already exists")
+            if self._store is not None and self._store.get_session(name) is not None:
+                raise ServiceError(
+                    f"a session named {name!r} already exists (persisted)"
+                )
             self._reserved.add(name)
         try:
-            session = PrivacySession(seed=seed, executor=executor)
+            session = PrivacySession(
+                seed=seed, executor=executor, ledger=self._durable_ledger(name)
+            )
             protected = session.protect(source, records, total_epsilon=total_epsilon)
             hosted = HostedSession(name, session, source)
             builders = (
@@ -197,6 +246,7 @@ class SessionRegistry:
             )
             for query_name, builder in builders.items():
                 hosted.register_query(query_name, builder(protected))
+            self._persist(hosted, total_epsilon, seed, executor, queries)
         except BaseException:
             with self._lock:
                 self._reserved.discard(name)
@@ -210,40 +260,172 @@ class SessionRegistry:
             source=source,
             total_epsilon=total_epsilon,
             queries=sorted(builders),
-            executor=executor,
+            executor=executor if isinstance(executor, str) else "<callable>",
         )
         return hosted
 
     def get(self, name: str) -> HostedSession:
-        """The hosted session registered under ``name``."""
+        """The hosted session registered under ``name``.
+
+        With a durable store, a miss falls back to the persisted session
+        definitions: a session created before a restart — or by a sibling
+        worker process — is re-materialised on first use, with its committed
+        ε spend recovered by the durable ledger.
+        """
         with self._lock:
-            try:
-                return self._sessions[name]
-            except KeyError as exc:
-                raise ServiceError(f"no session named {name!r}") from exc
+            hosted = self._sessions.get(name)
+            if hosted is not None:
+                return hosted
+            if self._store is not None:
+                payload = self._store.get_session(name)
+                if payload is not None:
+                    return self._materialize_locked(name, payload)
+            raise ServiceError(f"no session named {name!r}")
 
     def names(self) -> list[str]:
-        """Every hosted session name."""
+        """Every hosted session name (in memory or persisted)."""
         with self._lock:
-            return sorted(self._sessions)
+            names = set(self._sessions)
+        if self._store is not None:
+            names.update(self._store.session_names())
+        return sorted(names)
+
+    def load_persisted(self) -> list[str]:
+        """Materialise every persisted session (warm boot after a restart)."""
+        if self._store is None:
+            return []
+        restored = []
+        for name in self._store.session_names():
+            with self._lock:
+                if name not in self._sessions:
+                    payload = self._store.get_session(name)
+                    if payload is not None:
+                        self._materialize_locked(name, payload)
+                        restored.append(name)
+        return restored
 
     def close(self, name: str) -> None:
-        """Drop a hosted session (its budgets and datasets are released)."""
+        """Drop a hosted session (its in-memory datasets are released).
+
+        With a durable store, the persisted definition and released answers
+        are deleted, but the scope's *budget records are kept*: spent ε is a
+        property of the underlying protected data, so re-creating a session
+        under the same name resumes its committed spend instead of silently
+        resetting the privacy guarantee.
+        """
         with self._lock:
-            if name not in self._sessions:
+            known = name in self._sessions
+            if self._store is not None and not known:
+                known = self._store.get_session(name) is not None
+            if not known:
                 raise ServiceError(f"no session named {name!r}")
-            del self._sessions[name]
+            self._sessions.pop(name, None)
+        if self._store is not None:
+            self._store.drop_session(name)
+            self._store.drop_releases(name)
         self.record(name, "close-session")
 
     def describe(self) -> list[dict[str, Any]]:
         """JSON-friendly summaries of every hosted session."""
-        with self._lock:
-            sessions = list(self._sessions.values())
-        return [hosted.describe() for hosted in sessions]
+        return [self.get(name).describe() for name in self.names()]
+
+    # ------------------------------------------------------------------
+    # Durable-session plumbing
+    # ------------------------------------------------------------------
+    def _durable_ledger(self, name: str):
+        if self._store is None:
+            return None
+        from ..persistence.ledger import DurableLedger
+
+        return DurableLedger(self._store, name)
+
+    def _persist(
+        self,
+        hosted: HostedSession,
+        total_epsilon: float,
+        seed: Any,
+        executor: Any,
+        queries: Any,
+    ) -> None:
+        """Persist a session definition when it is serialisable."""
+        if self._store is None or queries is not None:
+            return
+        if not isinstance(executor, str) or not (seed is None or isinstance(seed, int)):
+            return
+        from ..persistence.wal import encode_record
+
+        dataset = hosted.session.dataset(hosted.source)
+        payload = {
+            "records": [
+                [encode_record(record), weight] for record, weight in dataset.items()
+            ],
+            "total_epsilon": total_epsilon,
+            "seed": seed,
+            "executor": executor,
+            "source": hosted.source,
+        }
+        try:
+            self._store.put_session(hosted.name, payload)
+        except sqlite3.IntegrityError as exc:
+            raise ServiceError(
+                f"a session named {hosted.name!r} already exists (created "
+                f"concurrently by another worker)"
+            ) from exc
+
+    def _materialize_locked(self, name: str, payload: dict[str, Any]) -> HostedSession:
+        """Rebuild a persisted session (registry lock held).
+
+        The durable ledger recovers the scope's committed spend during
+        ``protect``; the restored session serves the default named queries
+        (custom builders are never persisted).
+        """
+        from ..persistence.wal import decode_record
+
+        session = PrivacySession(
+            seed=payload.get("seed"),
+            executor=payload.get("executor", "eager"),
+            ledger=self._durable_ledger(name),
+        )
+        records = WeightedDataset(
+            {
+                decode_record(record): float(weight)
+                for record, weight in payload["records"]
+            }
+        )
+        source = payload.get("source", "edges")
+        protected = session.protect(
+            source, records, total_epsilon=float(payload.get("total_epsilon", float("inf")))
+        )
+        hosted = HostedSession(name, session, source)
+        for query_name, builder in default_query_builders().items():
+            hosted.register_query(query_name, builder(protected))
+        self._sessions[name] = hosted
+        self.record(name, "restore-session", source=source)
+        if self._on_restore is not None:
+            self._on_restore(hosted)
+        return hosted
 
     # ------------------------------------------------------------------
     def record(self, session: str, action: str, **detail: Any) -> AuditEvent:
-        """Append one event to the audit log (thread-safe, monotonic order)."""
+        """Append one event to the audit log (thread-safe, monotonic order).
+
+        With a durable store the sequence number and timestamp are allocated
+        by the store's append, so events are totally ordered across restarts
+        and across worker processes; in-memory mode keeps a local counter.
+        """
+        worker = os.getpid()
+        if self._store is not None:
+            sequence, timestamp = self._store.append_audit(
+                session, action, detail, worker
+            )
+            return AuditEvent(
+                sequence=sequence,
+                timestamp=timestamp,
+                session=session,
+                action=action,
+                detail=detail,
+                worker=worker,
+            )
         with self._lock:
             self._sequence += 1
             event = AuditEvent(
@@ -252,12 +434,30 @@ class SessionRegistry:
                 session=session,
                 action=action,
                 detail=detail,
+                worker=worker,
             )
             self._audit.append(event)
             return event
 
     def audit(self, session: str | None = None) -> list[AuditEvent]:
-        """The audit log, optionally filtered to one session's events."""
+        """The audit log, optionally filtered to one session's events.
+
+        Store-backed registries read the merged durable log, so events from
+        previous incarnations and sibling workers are included, in global
+        sequence order.
+        """
+        if self._store is not None:
+            return [
+                AuditEvent(
+                    sequence=row["seq"],
+                    timestamp=row["timestamp"],
+                    session=row["session"],
+                    action=row["action"],
+                    detail=json.loads(row["detail"]),
+                    worker=row["worker"],
+                )
+                for row in self._store.audit_rows(session)
+            ]
         with self._lock:
             events = list(self._audit)
         if session is None:

@@ -43,6 +43,8 @@ from .registry import HostedSession, SessionRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.aggregation import NoisyCountResult
+    from ..persistence.ratelimit import LoadShedder, RateLimiter
+    from ..persistence.wal import LedgerStore
 
 __all__ = ["BatchingScheduler", "MeasurementAnswer"]
 
@@ -79,11 +81,23 @@ class BatchingScheduler:
         cache: AnswerCache | None = None,
         workers: int | None = None,
         max_pending: int = 128,
+        store: "LedgerStore | None" = None,
+        rate_limiter: "RateLimiter | None" = None,
+        shedder: "LoadShedder | None" = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be a positive integer")
         self._registry = registry
         self._cache = cache if cache is not None else AnswerCache()
+        # Durable released-answer store: consulted after the in-memory cache
+        # (an identical measurement released before a restart, or by another
+        # worker process, replays from disk at zero budget) and written on
+        # every release.
+        self._store = store
+        # Admission control, checked in order: per-tenant token bucket, then
+        # the global pending bound, then the per-session queue bound.
+        self._rate_limiter = rate_limiter
+        self._shedder = shedder
         self._pool = ThreadPoolExecutor(
             max_workers=workers or 4, thread_name_prefix="repro-service"
         )
@@ -102,7 +116,7 @@ class BatchingScheduler:
         return self._cache
 
     def stats(self) -> dict[str, int]:
-        """Request/batch counters plus cache statistics."""
+        """Request/batch counters plus cache and admission statistics."""
         with self._lock:
             stats = {
                 "requests": self._requests,
@@ -110,6 +124,10 @@ class BatchingScheduler:
                 "largest_batch": self._largest_batch,
             }
         stats["cache"] = self._cache.stats()
+        if self._rate_limiter is not None:
+            stats["rate_limit"] = self._rate_limiter.stats()
+        if self._shedder is not None:
+            stats["load_shedding"] = self._shedder.stats()
         return stats
 
     def shutdown(self, wait: bool = True) -> None:
@@ -121,15 +139,19 @@ class BatchingScheduler:
         """Enqueue one measurement; the future resolves to a
         :class:`MeasurementAnswer` (or raises the measurement's error).
 
-        Raises :class:`~repro.exceptions.ServiceOverloadedError` immediately
-        when the session's pending queue is full, and
+        Raises :class:`~repro.exceptions.RateLimitedError` when the tenant
+        exceeds its token bucket,
+        :class:`~repro.exceptions.ServiceOverloadedError` immediately when
+        the global pending bound or the session's pending queue is full, and
         :class:`~repro.exceptions.ServiceError` for unknown sessions/queries.
         """
+        if self._rate_limiter is not None:
+            self._rate_limiter.admit(session_name)
         hosted = self._registry.get(session_name)
         queryable = hosted.queryable(query)
         future: Future = Future()
 
-        cached = self._cache.get(session_name, queryable.plan, epsilon)
+        cached = self._cached_answer(session_name, query, epsilon, queryable)
         if cached is not None:
             self._registry.record(
                 session_name, "cache-hit", query=query, epsilon=epsilon
@@ -147,22 +169,56 @@ class BatchingScheduler:
             )
             return future
 
+        if self._shedder is not None:
+            self._shedder.admit()
+            future.add_done_callback(lambda _done: self._shedder.release())
         pending = _PendingRequest(query, float(epsilon), queryable, future)
-        with self._lock:
-            queue = self._queues.setdefault(session_name, [])
-            if len(queue) >= self._max_pending:
-                raise ServiceOverloadedError(
-                    f"session {session_name!r} has {len(queue)} pending "
-                    f"measurements (limit {self._max_pending}); retry later"
-                )
-            queue.append(pending)
-            self._requests += 1
-            start_drain = session_name not in self._draining
-            if start_drain:
-                self._draining.add(session_name)
+        try:
+            with self._lock:
+                queue = self._queues.setdefault(session_name, [])
+                if len(queue) >= self._max_pending:
+                    raise ServiceOverloadedError(
+                        f"session {session_name!r} has {len(queue)} pending "
+                        f"measurements (limit {self._max_pending}); retry later"
+                    )
+                queue.append(pending)
+                self._requests += 1
+                start_drain = session_name not in self._draining
+                if start_drain:
+                    self._draining.add(session_name)
+        except BaseException as exc:
+            # The request never enqueued: resolve its future so the shedder's
+            # done-callback releases the admission slot it was counted for.
+            future.set_exception(exc)
+            raise
         if start_drain:
             self._pool.submit(self._drain, session_name)
         return future
+
+    def _cached_answer(
+        self, session_name: str, query: str, epsilon: float, queryable
+    ) -> "NoisyCountResult | None":
+        """In-memory cache first, then the durable released-answer store.
+
+        A durable hit (an answer released before a restart, or by a sibling
+        worker) is rehydrated into the in-memory cache keyed by this worker's
+        plan object, so subsequent repeats stay off disk.
+        """
+        cached = self._cache.get(session_name, queryable.plan, epsilon)
+        if cached is not None:
+            return cached
+        if self._store is None:
+            return None
+        values = self._store.get_release(session_name, query, epsilon)
+        if values is None:
+            return None
+        from ..core.aggregation import NoisyCountResult
+
+        result = NoisyCountResult.from_released(
+            values, epsilon, plan=queryable.plan, query_name=query
+        )
+        self._cache.put(session_name, queryable.plan, epsilon, result)
+        return self._cache.get(session_name, queryable.plan, epsilon)
 
     def measure(self, session_name: str, query: str, epsilon: float) -> MeasurementAnswer:
         """Blocking convenience wrapper around :meth:`submit`."""
@@ -219,7 +275,9 @@ class BatchingScheduler:
         # remaining identical (plan, ε) requests onto one measurement each.
         groups: dict[tuple[int, float], list[_PendingRequest]] = {}
         for item in batch:
-            answer = self._cache.get(session_name, item.queryable.plan, item.epsilon)
+            answer = self._cached_answer(
+                session_name, item.query, item.epsilon, item.queryable
+            )
             if answer is not None:
                 self._registry.record(
                     session_name, "cache-hit", query=item.query, epsilon=item.epsilon
@@ -323,6 +381,13 @@ class BatchingScheduler:
         first = members[0]
         # The answer is released now: later identical requests replay it free.
         self._cache.put(session_name, first.queryable.plan, first.epsilon, result)
+        if self._store is not None:
+            # Durable copy, so the free replay survives restarts and reaches
+            # sibling worker processes.  Written only after the ledger
+            # accepted the charge, never speculatively.
+            self._store.put_release(
+                session_name, first.query, first.epsilon, list(result.items())
+            )
         charged = first.queryable.privacy_cost(first.epsilon)
         for index, member in enumerate(members):
             member.future.set_result(

@@ -1,0 +1,369 @@
+"""Tests for the durable measurement service: restarts, workers, admission.
+
+Exercises :class:`~repro.service.core.MeasurementService` with a ledger file:
+sessions, budgets, released answers and the audit log all survive a restart;
+the audit sequence is totally ordered across restarts; rate limiting and load
+shedding refuse correctly; and ``repro serve --ledger`` shuts down gracefully
+on SIGTERM (subprocess test, including the ``--workers N`` fork path).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exceptions import (
+    InvalidEpsilonError,
+    RateLimitedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.persistence import LedgerStore
+from repro.service import MeasurementService
+
+EDGES = [(i, i + 1) for i in range(30)] + [(0, 2), (1, 3), (2, 4)]
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+@pytest.fixture()
+def ledger_path(tmp_path):
+    return str(tmp_path / "ledger.db")
+
+
+def _service(ledger_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return MeasurementService(ledger_path=ledger_path, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Restart recovery through the service facade
+# ----------------------------------------------------------------------
+class TestServiceRestart:
+    def test_session_budget_and_answers_survive_restart(self, ledger_path):
+        service = _service(ledger_path)
+        service.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        first = service.measure("acme", "node-count", 0.25)
+        report = service.budget_report("acme")
+        service.shutdown()
+
+        restarted = _service(ledger_path)
+        try:
+            assert [s["name"] for s in restarted.sessions()] == ["acme"]
+            assert restarted.budget_report("acme") == report
+            # The released answer replays bit-identically at zero charge.
+            replay = restarted.measure("acme", "node-count", 0.25)
+            assert replay.cached
+            assert dict(replay.result.items()) == dict(first.result.items())
+            assert restarted.budget_report("acme") == report
+        finally:
+            restarted.shutdown()
+
+    def test_lazy_materialization_without_boot_scan(self, ledger_path):
+        service = _service(ledger_path)
+        service.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        service.shutdown()
+
+        restarted = _service(ledger_path)
+        try:
+            # get() materializes on demand even for a name the registry has
+            # not touched since boot (exercised here via a fresh lookup).
+            hosted = restarted.session("acme")
+            assert "tbi" in hosted.query_names()
+        finally:
+            restarted.shutdown()
+
+    def test_closed_session_budget_resumes_under_same_name(self, ledger_path):
+        service = _service(ledger_path)
+        service.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        service.measure("acme", "node-count", 0.25)
+        service.close_session("acme")
+        assert "acme" not in [s["name"] for s in service.sessions()]
+
+        # Spent ε is a property of the protected data: re-creating the name
+        # resumes the committed spend instead of resetting the guarantee.
+        service.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        assert service.budget_report("acme")["edges"]["spent"] == pytest.approx(0.25)
+        service.shutdown()
+
+    def test_conflicting_total_after_restart_is_refused(self, ledger_path):
+        service = _service(ledger_path)
+        service.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        service.close_session("acme")
+        with pytest.raises(InvalidEpsilonError, match="conflicting"):
+            service.create_session("acme", EDGES, total_epsilon=5.0, seed=7)
+        service.shutdown()
+
+    def test_unserializable_sessions_stay_ephemeral(self, ledger_path):
+        from repro.core.executor import EagerExecutor
+
+        service = _service(ledger_path)
+        # A callable executor factory cannot be persisted; the session still
+        # works (with full budget durability), it just does not survive a
+        # restart.
+        service.create_session(
+            "ephemeral",
+            EDGES,
+            total_epsilon=1.0,
+            seed=7,
+            executor=lambda environment: EagerExecutor(environment),
+        )
+        assert service.store.get_session("ephemeral") is None
+        service.measure("ephemeral", "node-count", 0.25)
+        assert service.store.spent("ephemeral")["edges"] == pytest.approx(0.25)
+        service.shutdown()
+
+    def test_cross_worker_session_visibility(self, ledger_path):
+        """Two services on one file model two worker processes."""
+        a = _service(ledger_path)
+        b = _service(ledger_path)
+        try:
+            a.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+            # b never saw the create; it materializes from the store.
+            answer = b.measure("acme", "node-count", 0.25)
+            assert not answer.cached
+            # a's view of the budget includes b's charge.
+            assert a.budget_report("acme")["edges"]["spent"] == pytest.approx(0.25)
+            # ...and a replays b's released answer instead of re-charging.
+            replay = a.measure("acme", "node-count", 0.25)
+            assert replay.cached
+            assert dict(replay.result.items()) == dict(answer.result.items())
+            assert a.budget_report("acme")["edges"]["spent"] == pytest.approx(0.25)
+        finally:
+            a.shutdown()
+            b.shutdown()
+
+    def test_duplicate_create_across_workers_collides(self, ledger_path):
+        a = _service(ledger_path)
+        b = _service(ledger_path)
+        try:
+            a.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+            with pytest.raises(ServiceError, match="already exists"):
+                b.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        finally:
+            a.shutdown()
+            b.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Audit ordering (satellite: total order across restarts and workers)
+# ----------------------------------------------------------------------
+class TestDurableAudit:
+    def test_sequence_is_total_across_restarts(self, ledger_path):
+        service = _service(ledger_path)
+        service.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+        service.measure("acme", "node-count", 0.1)
+        first_run = service.audit()
+        service.shutdown()
+
+        restarted = _service(ledger_path)
+        try:
+            restarted.measure("acme", "node-count", 0.2)
+            merged = restarted.audit()
+        finally:
+            restarted.shutdown()
+
+        sequences = [event.sequence for event in merged]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+        # Pre-restart events are a prefix of the merged durable log.
+        assert sequences[: len(first_run)] == [e.sequence for e in first_run]
+        assert max(e.sequence for e in first_run) < merged[-1].sequence
+        assert all(event.timestamp > 0 for event in merged)
+        assert all(event.worker == os.getpid() for event in merged)
+
+    def test_session_slice_preserves_global_sequence(self, ledger_path):
+        service = _service(ledger_path)
+        service.create_session("a", EDGES, total_epsilon=1.0, seed=1)
+        service.create_session("b", EDGES, total_epsilon=1.0, seed=2)
+        service.measure("b", "node-count", 0.1)
+        service.measure("a", "node-count", 0.1)
+        all_events = service.audit()
+        only_a = service.audit("a")
+        assert [e.sequence for e in only_a] == [
+            e.sequence for e in all_events if e.session == "a"
+        ]
+        service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Admission control: rate limiting and load shedding
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_rate_limit_refuses_with_retry_after(self, ledger_path):
+        service = _service(ledger_path, rate_limit=0.001, rate_burst=2.0)
+        try:
+            service.create_session("acme", EDGES, total_epsilon=5.0, seed=7)
+            service.measure("acme", "node-count", 0.1)  # create + 1st token
+            # create_session consumed no tokens; two measures drain the burst.
+            service.measure("acme", "node-count", 0.2)
+            with pytest.raises(RateLimitedError) as excinfo:
+                service.measure("acme", "node-count", 0.3)
+            assert excinfo.value.retry_after > 0
+            stats = service.stats()["rate_limit"]
+            assert stats["limited"] >= 1
+        finally:
+            service.shutdown()
+
+    def test_rate_limit_is_per_session(self, ledger_path):
+        service = _service(ledger_path, rate_limit=0.001, rate_burst=1.0)
+        try:
+            service.create_session("a", EDGES, total_epsilon=5.0, seed=1)
+            service.create_session("b", EDGES, total_epsilon=5.0, seed=2)
+            service.measure("a", "node-count", 0.1)
+            with pytest.raises(RateLimitedError):
+                service.measure("a", "node-count", 0.2)
+            # Tenant b has its own bucket and is unaffected by a's refusal.
+            service.measure("b", "node-count", 0.1)
+        finally:
+            service.shutdown()
+
+    def test_load_shedding_bounds_total_pending(self, ledger_path):
+        service = _service(ledger_path, max_total_pending=1)
+        try:
+            service.create_session("acme", EDGES, total_epsilon=5.0, seed=7)
+            # Saturate: hold the single pending slot with an inflight future,
+            # by submitting from a paused scheduler state is racy — instead
+            # drive the shedder directly through its counters.
+            service.scheduler._shedder.admit()
+            with pytest.raises(ServiceOverloadedError, match="shedding"):
+                service.measure("acme", "node-count", 0.1)
+            service.scheduler._shedder.release()
+            service.measure("acme", "node-count", 0.1)
+            assert service.stats()["load_shedding"]["shed"] >= 1
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# repro serve --ledger: graceful shutdown and multi-process workers
+# ----------------------------------------------------------------------
+def _wait_for_server(client, proc, deadline=90.0):
+    from urllib.error import URLError
+
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            return client.sessions()
+        except (URLError, ConnectionError, OSError):
+            if proc.poll() is not None or time.monotonic() > end:
+                out = proc.stdout.read() if proc.stdout else ""
+                raise AssertionError(f"server did not come up: {out}")
+            time.sleep(0.1)
+
+
+def _spawn_serve(*args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"), reason="requires POSIX signals")
+class TestServeDurability:
+    def _port_of(self, proc: subprocess.Popen) -> int:
+        line = proc.stdout.readline()
+        assert "repro serve" in line, line
+        return int(line.rsplit(":", 1)[1].split()[0].rstrip("/)"))
+
+    def test_sigterm_shuts_down_gracefully_and_state_survives(self, ledger_path):
+        from repro.service import ServiceClient
+
+        proc = _spawn_serve("--port", "0", "--ledger", ledger_path)
+        try:
+            port = self._port_of(proc)
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            _wait_for_server(client, proc)
+            client.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+            client.measure("acme", "node-count", 0.25)
+            report = client.budget("acme")
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # Graceful shutdown compacted the log and closed cleanly; everything
+        # is recoverable from the file alone.
+        with LedgerStore(ledger_path) as store:
+            assert store.stats()["wal"] == 0
+            assert store.session_names() == ["acme"]
+            assert store.spent("acme")["edges"] == pytest.approx(
+                report["edges"]["spent"]
+            )
+
+    def test_kill9_then_restart_preserves_remaining_epsilon(self, ledger_path):
+        from repro.service import ServiceClient
+
+        proc = _spawn_serve("--port", "0", "--ledger", ledger_path)
+        try:
+            port = self._port_of(proc)
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            _wait_for_server(client, proc)
+            client.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+            client.measure("acme", "node-count", 0.25)
+            report = client.budget("acme")
+            proc.kill()  # SIGKILL: no shutdown hooks run
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=30)
+
+        restarted = _spawn_serve("--port", "0", "--ledger", ledger_path)
+        try:
+            port = self._port_of(restarted)
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            sessions = _wait_for_server(client, restarted)
+            assert [s["name"] for s in sessions] == ["acme"]
+            assert client.budget("acme") == report
+            restarted.send_signal(signal.SIGTERM)
+            assert restarted.wait(timeout=30) == 0
+        finally:
+            if restarted.poll() is None:  # pragma: no cover
+                restarted.kill()
+                restarted.wait(timeout=30)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+    def test_multi_worker_fleet_shares_ledger(self, ledger_path):
+        from repro.service import ServiceClient
+
+        proc = _spawn_serve(
+            "--port", "0", "--ledger", ledger_path, "--workers", "2"
+        )
+        try:
+            port = self._port_of(proc)
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            _wait_for_server(client, proc)
+            client.create_session("acme", EDGES, total_epsilon=1.0, seed=7)
+            first = client.measure("acme", "node-count", 0.25)
+            # Enough repeats to land on both workers: all must replay the
+            # persisted release identically with no additional charge.
+            for _ in range(6):
+                replay = client.measure("acme", "node-count", 0.25)
+                assert replay["cached"]
+                assert replay["values"] == first["values"]
+            assert client.budget("acme")["edges"]["spent"] == pytest.approx(0.25)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def test_workers_without_ledger_is_refused(self, tmp_path):
+        proc = _spawn_serve("--port", "0", "--workers", "2")
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode != 0
+        assert "requires --ledger" in out

@@ -26,6 +26,11 @@ Tables
 ``sessions``
     Hosted-session definitions (records, total ε, seed, executor, source) so
     a restarted or sibling worker can re-materialise a tenant's session.
+``incarnations``
+    A monotonic per-scope counter advanced on every re-materialisation: each
+    incarnation of a seeded session derives a distinct noise stream, so no
+    two released measurements can ever share Laplace draws (sharing a draw
+    would let an analyst difference two releases and cancel the noise).
 
 The charge protocol (:meth:`LedgerStore.charge`) is deliberately two
 transactions, not one:
@@ -98,6 +103,10 @@ CREATE TABLE IF NOT EXISTS sessions (
     name TEXT PRIMARY KEY,
     created_at REAL NOT NULL,
     payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS incarnations (
+    scope TEXT PRIMARY KEY,
+    count INTEGER NOT NULL
 );
 """
 
@@ -450,6 +459,36 @@ class LedgerStore:
                 (name, time.time(), json.dumps(payload)),
             )
 
+    def next_incarnation(self, scope: str) -> int:
+        """Durably allocate the next incarnation number for ``scope`` (≥ 1).
+
+        Every re-materialisation of a persisted session — after a restart, or
+        on a sibling worker process — gets a distinct number, from which the
+        registry derives a distinct Laplace noise stream.  Restoring the raw
+        seed instead would reset the creator's stream to its initial state
+        and re-draw noise values already released for earlier measurements —
+        two releases sharing a noise draw can be differenced to cancel the
+        noise exactly, breaking the ε-DP guarantee the durable ledger exists
+        to preserve.
+        """
+        with self._mutex:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT count FROM incarnations WHERE scope = ?", (scope,)
+                ).fetchone()
+                count = (int(row["count"]) if row is not None else 0) + 1
+                self._conn.execute(
+                    "INSERT INTO incarnations (scope, count) VALUES (?, ?) "
+                    "ON CONFLICT(scope) DO UPDATE SET count = excluded.count",
+                    (scope, count),
+                )
+                self._conn.execute("COMMIT")
+                return count
+            except BaseException:
+                self._rollback()
+                raise
+
     def get_session(self, name: str) -> dict[str, Any] | None:
         """One persisted session definition, if present."""
         with self._mutex:
@@ -481,7 +520,10 @@ class LedgerStore:
         with self._mutex:
             counts = {
                 table: self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
-                for table in ("wal", "snapshots", "audit", "releases", "sessions")
+                for table in (
+                    "wal", "snapshots", "audit", "releases", "sessions",
+                    "incarnations",
+                )
             }
         counts["path"] = self.path
         counts["snapshot_every"] = self.snapshot_every

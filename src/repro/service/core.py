@@ -78,10 +78,16 @@ class MeasurementService:
 
             shedder = LoadShedder(max_total_pending)
         self._rate_limiter = rate_limiter
-        self.registry = SessionRegistry(
-            store=self.store, on_restore=self._warm_session
-        )
         self.cache = AnswerCache()
+        self.registry = SessionRegistry(
+            store=self.store,
+            on_restore=self._warm_session,
+            # A stale in-memory replica (its persisted definition was closed
+            # or replaced by a sibling worker) must take its cached answers
+            # with it, or the old dataset's releases would replay against
+            # the new same-name session.
+            on_evict=self.cache.drop_scope,
+        )
         self.scheduler = BatchingScheduler(
             self.registry,
             cache=self.cache,

@@ -26,6 +26,7 @@ import os
 import sqlite3
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
@@ -108,6 +109,13 @@ class HostedSession:
         self.session = session
         self.source = source
         self.created_at = time.time()
+        # Identity of the *persisted* definition this hosted session was
+        # built from (set by the registry).  None for in-memory registries
+        # and for unserialisable (ephemeral) sessions; when set, the
+        # registry re-validates it against the store on every lookup so a
+        # close/re-create by a sibling worker evicts this replica instead of
+        # letting it serve a stale dataset.
+        self.generation: str | None = None
         self._lock = threading.RLock()
         self._queries: dict[str, Queryable] = {}
 
@@ -175,17 +183,23 @@ class SessionRegistry:
     session created by a previous incarnation (or a sibling worker process)
     is re-materialised on demand with its committed ε spend intact.
     ``on_restore`` is invoked for each re-materialised session — the service
-    uses it to warm the answer cache from the store's released answers.
+    uses it to warm the answer cache from the store's released answers —
+    and ``on_evict`` with the session name whenever a stale in-memory
+    replica is dropped (its persisted definition was closed or replaced by
+    a sibling worker); the service uses it to evict the scope's cached
+    answers.
     """
 
     def __init__(
         self,
         store: "LedgerStore | None" = None,
         on_restore: Callable[[HostedSession], None] | None = None,
+        on_evict: Callable[[str], None] | None = None,
     ) -> None:
         self._lock = threading.RLock()
         self._store = store
         self._on_restore = on_restore
+        self._on_evict = on_evict
         self._sessions: dict[str, HostedSession] = {}
         # Names being built by an in-flight create(): reserved up front so a
         # racing duplicate create fails fast instead of building a whole
@@ -228,6 +242,20 @@ class SessionRegistry:
         the session itself dies with the process.
         """
         with self._lock:
+            hosted = self._sessions.get(name)
+            if (
+                hosted is not None
+                and self._store is not None
+                and hosted.generation is not None
+            ):
+                stamped = self._store.get_session(name)
+                if stamped is None or stamped.get("generation") != hosted.generation:
+                    # Stale replica: a sibling worker closed (or replaced)
+                    # this session after we materialised it.  Drop it so the
+                    # durable store alone decides whether the name is taken.
+                    self._sessions.pop(name, None)
+                    if self._on_evict is not None:
+                        self._on_evict(name)
             if name in self._sessions or name in self._reserved:
                 raise ServiceError(f"a session named {name!r} already exists")
             if self._store is not None and self._store.get_session(name) is not None:
@@ -267,19 +295,41 @@ class SessionRegistry:
     def get(self, name: str) -> HostedSession:
         """The hosted session registered under ``name``.
 
-        With a durable store, a miss falls back to the persisted session
-        definitions: a session created before a restart — or by a sibling
-        worker process — is re-materialised on first use, with its committed
-        ε spend recovered by the durable ledger.
+        With a durable store the in-memory table is only a *replica*: a miss
+        falls back to the persisted session definitions (a session created
+        before a restart — or by a sibling worker process — is
+        re-materialised on first use, with its committed ε spend recovered
+        by the durable ledger), and a hit is re-validated against the
+        persisted definition's generation stamp, so a session a sibling
+        worker closed (or closed and re-created over different records) is
+        evicted and its cached answers dropped instead of being served
+        stale.
         """
         with self._lock:
             hosted = self._sessions.get(name)
+            if self._store is None or (
+                hosted is not None and hosted.generation is None
+            ):
+                # In-memory registry, or an ephemeral (never-persisted)
+                # session: the local table is authoritative.
+                if hosted is not None:
+                    return hosted
+                raise ServiceError(f"no session named {name!r}")
+            payload = self._store.get_session(name)
             if hosted is not None:
-                return hosted
-            if self._store is not None:
-                payload = self._store.get_session(name)
-                if payload is not None:
-                    return self._materialize_locked(name, payload)
+                if (
+                    payload is not None
+                    and payload.get("generation") == hosted.generation
+                ):
+                    return hosted
+                # Stale replica: a sibling worker closed this session, or
+                # re-created it under a new definition.  Drop the replica
+                # and its cached answers before answering.
+                self._sessions.pop(name, None)
+                if self._on_evict is not None:
+                    self._on_evict(name)
+            if payload is not None:
+                return self._materialize_locked(name, payload)
             raise ServiceError(f"no session named {name!r}")
 
     def names(self) -> list[str]:
@@ -327,7 +377,14 @@ class SessionRegistry:
 
     def describe(self) -> list[dict[str, Any]]:
         """JSON-friendly summaries of every hosted session."""
-        return [self.get(name).describe() for name in self.names()]
+        summaries = []
+        for name in self.names():
+            try:
+                summaries.append(self.get(name).describe())
+            except ServiceError:
+                # Closed by a sibling worker between names() and get().
+                continue
+        return summaries
 
     # ------------------------------------------------------------------
     # Durable-session plumbing
@@ -355,6 +412,9 @@ class SessionRegistry:
         from ..persistence.wal import encode_record
 
         dataset = hosted.session.dataset(hosted.source)
+        # A fresh generation stamp per persisted definition: lookups compare
+        # it against the store so sibling workers notice a close/re-create.
+        generation = uuid.uuid4().hex
         payload = {
             "records": [
                 [encode_record(record), weight] for record, weight in dataset.items()
@@ -363,6 +423,7 @@ class SessionRegistry:
             "seed": seed,
             "executor": executor,
             "source": hosted.source,
+            "generation": generation,
         }
         try:
             self._store.put_session(hosted.name, payload)
@@ -371,6 +432,7 @@ class SessionRegistry:
                 f"a session named {hosted.name!r} already exists (created "
                 f"concurrently by another worker)"
             ) from exc
+        hosted.generation = generation
 
     def _materialize_locked(self, name: str, payload: dict[str, Any]) -> HostedSession:
         """Rebuild a persisted session (registry lock held).
@@ -378,11 +440,28 @@ class SessionRegistry:
         The durable ledger recovers the scope's committed spend during
         ``protect``; the restored session serves the default named queries
         (custom builders are never persisted).
+
+        The persisted seed is never resumed raw: that would reset the
+        Laplace stream to the state the creating incarnation already drew
+        from, and two releases sharing a noise draw can be differenced to
+        cancel the noise exactly.  Instead a fresh stream is derived from
+        the seed plus a durably monotonic incarnation number — still
+        deterministic per incarnation, but distinct from the creator's
+        stream and from every other incarnation's (including sibling forked
+        workers rebuilding the same session).
         """
         from ..persistence.wal import decode_record
 
+        seed = payload.get("seed")
+        if seed is not None:
+            import numpy as np
+
+            incarnation = self._store.next_incarnation(name)
+            seed = np.random.default_rng(
+                np.random.SeedSequence([int(seed), incarnation])
+            )
         session = PrivacySession(
-            seed=payload.get("seed"),
+            seed=seed,
             executor=payload.get("executor", "eager"),
             ledger=self._durable_ledger(name),
         )
@@ -397,6 +476,7 @@ class SessionRegistry:
             source, records, total_epsilon=float(payload.get("total_epsilon", float("inf")))
         )
         hosted = HostedSession(name, session, source)
+        hosted.generation = payload.get("generation")
         for query_name, builder in default_query_builders().items():
             hosted.register_query(query_name, builder(protected))
         self._sessions[name] = hosted

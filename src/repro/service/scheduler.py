@@ -94,8 +94,9 @@ class BatchingScheduler:
         # worker process, replays from disk at zero budget) and written on
         # every release.
         self._store = store
-        # Admission control, checked in order: per-tenant token bucket, then
-        # the global pending bound, then the per-session queue bound.
+        # Admission control, checked in order once the session name has been
+        # validated against the registry: per-tenant token bucket, then the
+        # global pending bound, then the per-session queue bound.
         self._rate_limiter = rate_limiter
         self._shedder = shedder
         self._pool = ThreadPoolExecutor(
@@ -139,16 +140,19 @@ class BatchingScheduler:
         """Enqueue one measurement; the future resolves to a
         :class:`MeasurementAnswer` (or raises the measurement's error).
 
-        Raises :class:`~repro.exceptions.RateLimitedError` when the tenant
-        exceeds its token bucket,
+        Raises :class:`~repro.exceptions.ServiceError` for unknown
+        sessions/queries, :class:`~repro.exceptions.RateLimitedError` when
+        the tenant exceeds its token bucket, and
         :class:`~repro.exceptions.ServiceOverloadedError` immediately when
-        the global pending bound or the session's pending queue is full, and
-        :class:`~repro.exceptions.ServiceError` for unknown sessions/queries.
+        the global pending bound or the session's pending queue is full.
+        The session name is validated *before* rate-limit admission so
+        garbage names never allocate per-tenant token buckets (which are
+        only reclaimed when a real session closes).
         """
-        if self._rate_limiter is not None:
-            self._rate_limiter.admit(session_name)
         hosted = self._registry.get(session_name)
         queryable = hosted.queryable(query)
+        if self._rate_limiter is not None:
+            self._rate_limiter.admit(session_name)
         future: Future = Future()
 
         cached = self._cached_answer(session_name, query, epsilon, queryable)

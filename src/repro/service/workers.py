@@ -13,7 +13,14 @@ What makes this sound without any cross-worker RPC is that every piece of
   two workers charging one tenant concurrently can never jointly overspend —
   the affordability check and the commit record are atomic file-wide;
 * sessions created on one worker are persisted and re-materialised lazily by
-  any sibling that is asked about them, with recovered spend;
+  any sibling that is asked about them, with recovered spend — each seeded
+  re-materialisation drawing from its own incarnation-derived noise stream
+  (never the creator's stream re-wound to the start), so siblings can never
+  re-release noise draws another worker already published;
+* a worker's in-memory replica is re-validated against the persisted
+  definition's generation stamp on every lookup, so a close or
+  close-and-re-create on one worker evicts the stale replica (and its
+  cached answers) everywhere instead of being served from old memory;
 * released answers are persisted, so a retry landing on a different worker
   replays the identical answer at zero budget.
 

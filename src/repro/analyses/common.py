@@ -20,6 +20,7 @@ from ..columnar.specs import (
     Field,
     FieldIs,
     FieldsDiffer,
+    GroupSize,
     JoinFields,
     Permute,
 )
@@ -132,15 +133,10 @@ def node_degrees(edges: Queryable, bucket: int = 1) -> Queryable:
     ``bucket > 1`` divides each degree by ``bucket`` (integer division), the
     bucketing remedy used for the TbD experiments in Section 5.2.  The
     bucketing only changes the *label* carried by each record, never its
-    weight, so the privacy analysis is unchanged.
+    weight, so the privacy analysis is unchanged.  Key and reducer are
+    structural specs, so the plan is picklable and ships to shard workers.
     """
-    if bucket < 1:
-        raise ValueError("bucket must be a positive integer")
-
-    def reducer(group: Sequence[Any]) -> int:
-        return len(group) // bucket if bucket > 1 else len(group)
-
-    return edges.group_by(key=lambda edge: edge[0], reducer=reducer)
+    return edges.group_by(key=Field(0), reducer=GroupSize(bucket))
 
 
 @shared_query

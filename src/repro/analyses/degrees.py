@@ -22,6 +22,7 @@ noticeably more accurate than regressing either one alone.
 
 from __future__ import annotations
 
+from ..columnar.specs import Constant, Field
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
 
@@ -48,12 +49,10 @@ def degree_ccdf_query(edges: Queryable) -> Queryable:
     unit of weight per node of degree greater than ``i``.
 
     Privacy: uses the edge dataset once, so a measurement at ε costs ε.
+    The field picks are structural specs (`Field`), so the plan vectorizes
+    fully and is picklable for process-parallel execution.
     """
-    return (
-        edges.select(lambda edge: edge[0])
-        .shave(1.0)
-        .select(lambda record: record[1])
-    )
+    return edges.select(Field(0)).shave(1.0).select(Field(1))
 
 
 @shared_query
@@ -66,11 +65,7 @@ def degree_sequence_query(edges: Queryable) -> Queryable:
 
     Privacy: uses the edge dataset once.
     """
-    return (
-        degree_ccdf_query(edges)
-        .shave(1.0)
-        .select(lambda record: record[1])
-    )
+    return degree_ccdf_query(edges).shave(1.0).select(Field(1))
 
 
 @shared_query
@@ -82,7 +77,7 @@ def node_count_query(edges: Queryable) -> Queryable:
     synthesis workflow (the seed generator needs to know roughly how many
     nodes to create).
     """
-    return nodes_from_edges(edges).select(lambda node: "node")
+    return nodes_from_edges(edges).select(Constant("node"))
 
 
 def measure_degree_ccdf(edges: Queryable, epsilon: float) -> NoisyCountResult:

@@ -301,6 +301,7 @@ def _run_bench(args: argparse.Namespace) -> int:
             # comparison's standard batch size so the written report matches
             # the committed BENCH_mcmc.json.
             proposal_batch=args.batch if args.batch else 16,
+            processes=args.processes,
         )
         output = format_mcmc_comparison(report)
         out_path = args.out
@@ -366,6 +367,7 @@ def _run_synth(args: argparse.Namespace, config: ExperimentConfig) -> int:
         steps,
         chains=args.chains,
         proposal_batch=args.batch or None,
+        processes=args.processes,
     )
     if synthesizer.last_parallel_result is not None:
         rows = [
@@ -398,7 +400,8 @@ def _run_synth(args: argparse.Namespace, config: ExperimentConfig) -> int:
             rows,
             title=(
                 f"Synthesis — backend={args.backend}, edges={edges_count}, "
-                f"chains={args.chains}, batch={args.batch or 'off'}"
+                f"chains={args.chains}, batch={args.batch or 'off'}, "
+                f"processes={args.processes or 'off'}"
             ),
         )
     )
@@ -562,6 +565,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'synth': parallel independent MCMC chains (best one wins)",
     )
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help=(
+            "for 'synth': run the --chains chains in N worker processes "
+            "(bit-identical to threads, but GIL-free); for 'bench --mcmc': "
+            "add a process-parallel chain-scaling section at 1 and N workers"
+        ),
+    )
+    parser.add_argument(
         "--batch",
         type=int,
         default=0,
@@ -587,7 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve-workers",
         type=int,
         default=None,
-        help="for 'serve': scheduler worker threads (default 4)",
+        help="for 'serve': scheduler worker threads (default scales with cores, 2-8)",
     )
     parser.add_argument(
         "--max-pending",

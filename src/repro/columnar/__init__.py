@@ -20,7 +20,7 @@ evaluator and the incremental dataflow engine:
   harness behind ``repro bench`` and ``benchmarks/bench_columnar.py``.
 """
 
-from .interning import Interner, global_interner
+from .interning import Interner, global_interner, set_global_interner, use_interner
 from .specs import (
     ColumnarSpec,
     Constant,
@@ -28,6 +28,7 @@ from .specs import (
     Field,
     FieldIs,
     FieldsDiffer,
+    GroupSize,
     JoinFields,
     Permute,
 )
@@ -64,6 +65,8 @@ __all__ = [
     "DEFAULT_AUTO_THRESHOLD",
     "Interner",
     "global_interner",
+    "set_global_interner",
+    "use_interner",
     "kernels",
     "specs",
     "ColumnarSpec",
@@ -74,4 +77,5 @@ __all__ = [
     "FieldsDiffer",
     "FieldIs",
     "ExplodeFields",
+    "GroupSize",
 ]

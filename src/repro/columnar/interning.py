@@ -33,12 +33,19 @@ deliberate trade of memory for cross-dataset code compatibility.
 
 from __future__ import annotations
 
+import sys
 import threading
-from typing import Any, Iterable, Sequence
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Interner", "global_interner"]
+__all__ = [
+    "Interner",
+    "global_interner",
+    "set_global_interner",
+    "use_interner",
+]
 
 
 class Interner:
@@ -67,6 +74,21 @@ class Interner:
 
     def __len__(self) -> int:
         return len(self._atoms)
+
+    def stats(self) -> dict[str, int]:
+        """Observability for the documented monotonic-growth trade-off.
+
+        ``atoms`` is the vocabulary size (every distinct atom ever seen,
+        including intermediates the kernels produce) and ``table_bytes`` an
+        estimate of the resident encoding state — the dict and list overhead,
+        not the atoms' own payloads.  Sampling this before/after a workload
+        turns "the interner grows monotonically" from a docstring warning into
+        a number (``repro bench --mcmc`` reports it per backend).
+        """
+        return {
+            "atoms": len(self._atoms),
+            "table_bytes": sys.getsizeof(self._codes) + sys.getsizeof(self._atoms),
+        }
 
     # ------------------------------------------------------------------
     def code(self, atom: Any) -> int:
@@ -113,3 +135,35 @@ _GLOBAL = Interner()
 def global_interner() -> Interner:
     """The shared interner (one encoding per process, so codes compose)."""
     return _GLOBAL
+
+
+def set_global_interner(interner: Interner) -> Interner:
+    """Replace the process-wide interner, returning the previous one.
+
+    The seam :mod:`repro.shard` uses: a worker process installs its
+    :class:`~repro.shard.interner.ShardInterner` once at startup so every
+    dataset it builds encodes against the frozen snapshot + its private
+    extension namespace.  Codes encoded against different interners are *not*
+    comparable — swapping mid-stream invalidates every cached code array, so
+    callers must only swap at process start or around a fully self-contained
+    execution (see :func:`use_interner`).
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = interner
+    return previous
+
+
+@contextmanager
+def use_interner(interner: Interner) -> Iterator[Interner]:
+    """Run a block with ``interner`` installed as the process-wide interner.
+
+    Used by the inline (single-process) shard path and by tests.  Not safe
+    under concurrency: the swap is process-global, so the block must not run
+    alongside other threads encoding datasets.
+    """
+    previous = set_global_interner(interner)
+    try:
+        yield interner
+    finally:
+        set_global_interner(previous)

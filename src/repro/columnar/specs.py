@@ -32,6 +32,7 @@ __all__ = [
     "FieldsDiffer",
     "FieldIs",
     "ExplodeFields",
+    "GroupSize",
 ]
 
 
@@ -154,6 +155,29 @@ class FieldIs(ColumnarSpec):
 
     def __call__(self, record: Any) -> bool:
         return record[self.index] == self.value
+
+
+class GroupSize(ColumnarSpec):
+    """``group -> len(group) // bucket`` — the degree/bucketed-degree reducer.
+
+    With ``bucket == 1`` this is exactly ``len``, the reducer of the
+    ``(vertex, degree)`` dataset (Section 2.5); larger buckets apply the
+    integer-division bucketing remedy of Section 5.2.  Expressed as a spec it
+    is picklable, so group-by plans built from it — ``node_degrees`` feeds
+    every MCMC fitting workload — can cross process boundaries
+    (:mod:`repro.shard`) without shipping closures.
+    """
+
+    __slots__ = ("bucket",)
+
+    def __init__(self, bucket: int = 1) -> None:
+        bucket = int(bucket)
+        if bucket < 1:
+            raise ValueError("bucket must be a positive integer")
+        self.bucket = bucket
+
+    def __call__(self, group: Sequence[Any]) -> int:
+        return len(group) // self.bucket if self.bucket > 1 else len(group)
 
 
 class ExplodeFields(ColumnarSpec):

@@ -255,8 +255,9 @@ def create_executor(
     ``spec`` may be one of the names ``"eager"`` (fresh memo per batch),
     ``"eager-warm"`` (memo kept across batches), ``"dataflow"`` (warm
     incremental engine), ``"vectorized"`` (the columnar NumPy-kernel
-    backend) and ``"auto"`` (eager for tiny inputs, vectorized for large
-    ones), or a *factory* — a callable taking the environment mapping and
+    backend), ``"auto"`` (eager for tiny inputs, vectorized for large
+    ones) and ``"sharded"`` (process-parallel sharded execution with a
+    vectorized fallback), or a *factory* — a callable taking the environment mapping and
     returning an :class:`Executor`.  A pre-built executor instance is
     rejected: it would be bound to some other environment and silently
     measure the wrong data (the session's dataset registry only exists once
@@ -277,10 +278,14 @@ def create_executor(
             from ..columnar.executor import AutoExecutor
 
             return AutoExecutor(environment)
+        if spec == "sharded":
+            from ..shard.executor import ShardedExecutor
+
+            return ShardedExecutor(environment)
         raise PlanError(
             f"unknown executor {spec!r}; expected 'eager', 'eager-warm', "
-            f"'dataflow', 'vectorized', 'auto', or a factory callable "
-            f"taking the environment"
+            f"'dataflow', 'vectorized', 'auto', 'sharded', or a factory "
+            f"callable taking the environment"
         )
     # Classes count as factories (EagerExecutor itself is "a callable taking
     # the environment"); runtime_checkable isinstance is hasattr-based, so an

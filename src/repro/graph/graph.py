@@ -167,8 +167,18 @@ class Graph:
                     yield key
 
     def edge_list(self) -> list[tuple[Any, Any]]:
-        """All undirected edges as a list."""
-        return list(self.edges())
+        """All undirected edges, in a canonical (repr-sorted) order.
+
+        Iterating the adjacency sets directly would expose their internal
+        order — an artifact of insertion history that does not survive
+        pickling, so a random walk seeded from it diverges between a
+        coordinator and a worker process holding the *same* graph.  Sorting
+        by ``repr`` makes the list a pure function of the graph's content —
+        the same canonicalisation measurement noise applies to records
+        (:mod:`repro.core.aggregation`) — so seeded trajectories are
+        identical across threads, processes and pickle round-trips.
+        """
+        return sorted(self.edges(), key=repr)
 
     def degree_sum_of_squares(self) -> int:
         """``Σ_v d_v²`` — the scaling quantity of Figure 6."""

@@ -21,6 +21,7 @@ which run the full chain.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Sequence
 
@@ -29,12 +30,19 @@ from ..analyses import (
     protect_graph,
     triangles_by_intersect_query,
 )
+from ..columnar.interning import global_interner
 from ..core.queryable import PrivacySession
 from ..graph.generators import erdos_renyi, random_twin
 from .random_walks import EdgeSwapWalk
 from .synthesizer import GraphSynthesizer
 
-__all__ = ["MCMC_BACKENDS", "mcmc_backend_comparison", "format_mcmc_comparison"]
+__all__ = [
+    "MCMC_BACKENDS",
+    "mcmc_backend_comparison",
+    "chain_scaling_comparison",
+    "format_mcmc_comparison",
+    "format_chain_scaling",
+]
 
 #: Backends the comparison knows how to drive, in report order.
 MCMC_BACKENDS = ("dataflow", "vectorized", "incremental")
@@ -123,6 +131,125 @@ def _fused_scoring_micro(
     }
 
 
+def _build_workload(edges: int, seed: int, epsilon: float):
+    """The comparison's standard workload: TbI + degrees over an ER graph."""
+    nodes = max(4, edges // 2)
+    graph = erdos_renyi(nodes, edges, rng=seed)
+    session = PrivacySession(seed=seed)
+    protected = protect_graph(session, graph, total_epsilon=float("inf"))
+    measurements = list(
+        session.measure(
+            (triangles_by_intersect_query(protected), epsilon, "tbi"),
+            (node_degrees(protected), epsilon, "degrees"),
+        )
+    )
+    seed_graph = random_twin(graph, rng=seed)
+    return graph, measurements, seed_graph
+
+
+def chain_scaling_comparison(
+    edges: int = 100_000,
+    steps: int = 400,
+    process_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 0,
+    pow_: float = 1.0,
+    epsilon: float = 0.1,
+    backend: str = "incremental",
+    proposal_batch: int | None = 16,
+    start_method: str | None = None,
+) -> dict:
+    """Aggregate steps/second of process-parallel chains vs a single chain.
+
+    For each entry of ``process_counts`` this runs ``P`` independent chains
+    in ``P`` worker processes (:func:`~repro.inference.parallel.run_chains`
+    with ``processes=P``) and reports the aggregate throughput — total steps
+    divided by the slowest chain's window, the figure a wall-clock observer
+    sees — against a single in-process chain as the baseline.  ``cpu_count``
+    is recorded because the achievable speedup is capped by physical cores:
+    on a single-core container every process count collapses to ~1×, which
+    the report states honestly rather than hiding.
+
+    The ``agreement`` entry re-runs chain 0 on the thread path with the same
+    spawned generator and asserts-by-reporting that the process path walked
+    the *same* chain (identical accepts, scores and final graph) — the
+    bit-for-bit reproducibility contract of the sharded subsystem.
+    """
+    from .parallel import run_chains
+
+    _, measurements, seed_graph = _build_workload(edges, seed, epsilon)
+
+    baseline = _run_backend(
+        measurements, seed_graph, backend, steps, seed, pow_, proposal_batch
+    )
+    report: dict = {
+        "workload": "TbI + node_degrees -> process-parallel edge-swap chains",
+        "edges": edges,
+        "steps": steps,
+        "pow": pow_,
+        "seed": seed,
+        "backend": backend,
+        "cpu_count": os.cpu_count(),
+        "start_method": start_method
+        or os.environ.get("REPRO_SHARD_START_METHOD", "spawn"),
+        "single_chain": baseline,
+        "scaling": [],
+    }
+
+    def run(processes: int | None, chains: int):
+        return run_chains(
+            measurements,
+            seed_graph,
+            steps=steps,
+            chains=chains,
+            pow_=pow_,
+            backend=backend,
+            rng=seed,
+            proposal_batch=proposal_batch,
+            processes=processes,
+            start_method=start_method,
+        )
+
+    single_process_one = None
+    for processes in process_counts:
+        started = time.perf_counter()
+        result = run(processes, chains=processes)
+        wall = time.perf_counter() - started
+        if processes == 1:
+            single_process_one = result
+        total_steps = sum(chain.result.steps for chain in result.chains)
+        aggregate = result.steps_per_second()
+        report["scaling"].append(
+            {
+                "processes": processes,
+                "chains": processes,
+                "total_steps": total_steps,
+                "aggregate_steps_per_second": aggregate,
+                "wall_seconds": wall,
+                "wall_steps_per_second": total_steps / wall if wall > 0 else 0.0,
+                "speedup_vs_single": aggregate / baseline["steps_per_second"]
+                if baseline["steps_per_second"] > 0
+                else 0.0,
+                "accepted": [chain.result.accepted for chain in result.chains],
+                "log_scores": [chain.log_score for chain in result.chains],
+            }
+        )
+
+    # Bit-identity: the same spawned generator must walk the same chain
+    # whether it runs in this process (threads) or in a pool worker.
+    thread = run(None, chains=1).chains[0]
+    process = (single_process_one or run(1, chains=1)).chains[0]
+    report["agreement"] = {
+        "accepted_equal": thread.result.accepted == process.result.accepted,
+        "log_score_diff": abs(thread.log_score - process.log_score),
+        "max_distance_diff": max(
+            abs(thread.distances[name] - process.distances[name])
+            for name in thread.distances
+        ),
+        "graphs_equal": thread.graph == process.graph,
+    }
+    return report
+
+
 def mcmc_backend_comparison(
     edge_counts: Sequence[int] = (2000, 10000),
     steps: int = 2000,
@@ -132,6 +259,8 @@ def mcmc_backend_comparison(
     epsilon: float = 0.1,
     backends: Sequence[str] = MCMC_BACKENDS,
     proposal_batch: int | None = 16,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> dict:
     """Time TbI+degree-driven MCMC on each backend across graph sizes.
 
@@ -143,6 +272,14 @@ def mcmc_backend_comparison(
     consumption loop; pass ``None`` to skip it.  ``pow_`` defaults to 1 so a
     healthy fraction of proposals is accepted and the accepted-path
     (state-mutating) cost dominates, matching real synthesis workloads.
+
+    Each size entry records the process-wide interner's vocabulary before
+    and after its runs: node identifiers dominate the dictionary, so growth
+    should track the number of *distinct* graphs measured, not the number of
+    backends or steps — a leak here means codes are being minted per-chain.
+    ``processes=P`` appends a ``chain_scaling`` section
+    (:func:`chain_scaling_comparison` at the largest size) comparing
+    process-parallel chains at 1 and ``P`` workers.
     """
     backends = list(backends)
     unknown = [name for name in backends if name not in MCMC_BACKENDS]
@@ -159,20 +296,11 @@ def mcmc_backend_comparison(
     for edges in edge_counts:
         if edges < 2:
             raise ValueError("the benchmark graph needs at least two edges")
-        nodes = max(4, edges // 2)
-        graph = erdos_renyi(nodes, edges, rng=seed)
-        session = PrivacySession(seed=seed)
-        protected = protect_graph(session, graph, total_epsilon=float("inf"))
-        measurements = list(
-            session.measure(
-                (triangles_by_intersect_query(protected), epsilon, "tbi"),
-                (node_degrees(protected), epsilon, "degrees"),
-            )
-        )
-        seed_graph = random_twin(graph, rng=seed)
+        graph, measurements, seed_graph = _build_workload(edges, seed, epsilon)
+        vocabulary_before = len(global_interner())
         entry: dict = {
             "edges": edges,
-            "nodes": nodes,
+            "nodes": graph.number_of_nodes(),
             "degree_sum_of_squares": int(graph.degree_sum_of_squares()),
             "backends": {},
             "speedups": {},
@@ -202,7 +330,24 @@ def mcmc_backend_comparison(
         if baseline:
             for name, stats in entry["backends"].items():
                 entry["speedups"][name] = stats["steps_per_second"] / baseline
+        vocabulary_after = len(global_interner())
+        entry["interner"] = {
+            "atoms_before": vocabulary_before,
+            "atoms_after": vocabulary_after,
+            "growth": vocabulary_after - vocabulary_before,
+        }
         report["sizes"].append(entry)
+    if processes:
+        report["chain_scaling"] = chain_scaling_comparison(
+            edges=max(edge_counts),
+            steps=steps,
+            process_counts=tuple(sorted({1, processes})),
+            seed=seed,
+            pow_=pow_,
+            epsilon=epsilon,
+            proposal_batch=proposal_batch,
+            start_method=start_method,
+        )
     return report
 
 
@@ -248,6 +393,48 @@ def format_mcmc_comparison(report: dict) -> str:
                 f"{fused['sequential_candidates_per_second']:.0f} sequential "
                 f"({fused['fused_speedup']:.2f}x)"
             )
+        vocabulary = entry.get("interner")
+        if vocabulary:
+            footnotes.append(
+                f"interner vocabulary at {entry['edges']} edges: "
+                f"{vocabulary['atoms_before']} -> {vocabulary['atoms_after']} atoms "
+                f"(+{vocabulary['growth']})"
+            )
     if footnotes:
         table += "\n" + "\n".join(footnotes)
+    scaling = report.get("chain_scaling")
+    if scaling:
+        table += "\n\n" + format_chain_scaling(scaling)
+    return table
+
+
+def format_chain_scaling(report: dict) -> str:
+    """Render a :func:`chain_scaling_comparison` report as a CLI table."""
+    from ..experiments import format_table
+
+    rows = [
+        (
+            row["processes"],
+            row["total_steps"],
+            f"{row['aggregate_steps_per_second']:.1f}",
+            f"{row['speedup_vs_single']:.2f}x",
+            f"{row['wall_seconds']:.2f}",
+        )
+        for row in report["scaling"]
+    ]
+    table = format_table(
+        ["processes", "steps", "agg steps/s", "vs 1 chain", "wall s"],
+        rows,
+        title=(
+            f"Process-parallel chains — {report['edges']} edges, "
+            f"backend={report['backend']}, cpu_count={report['cpu_count']}, "
+            f"start_method={report['start_method']}"
+        ),
+    )
+    agreement = report["agreement"]
+    table += (
+        f"\nthread/process bit-identity: accepted_equal="
+        f"{agreement['accepted_equal']}, graphs_equal={agreement['graphs_equal']}, "
+        f"max_distance_diff={agreement['max_distance_diff']:.2e}"
+    )
     return table

@@ -56,14 +56,19 @@ def spawn_generators(
 
 @dataclass
 class ChainOutcome:
-    """One chain's final state and trajectory."""
+    """One chain's final state and trajectory.
+
+    ``synthesizer`` is ``None`` for chains that ran in a worker process —
+    live engines do not cross the boundary; rebuild one from ``graph`` if
+    needed (``GraphSynthesizer.run`` does exactly that when adopting).
+    """
 
     index: int
     result: MCMCResult
     log_score: float
     graph: Graph
     distances: dict[str, float]
-    synthesizer: "GraphSynthesizer" = field(repr=False)
+    synthesizer: "GraphSynthesizer | None" = field(default=None, repr=False)
 
 
 @dataclass
@@ -109,6 +114,8 @@ def run_chains(
     metrics: dict[str, Callable[[], float]] | None = None,
     proposal_batch: int | None = None,
     max_workers: int | None = None,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> ParallelSynthesisResult:
     """Run ``chains`` independent synthesis chains; keep them all.
 
@@ -118,14 +125,48 @@ def run_chains(
     ``proposal_batch`` where the backend supports it.  Construction happens
     inside the worker threads too, so the expensive engine initialisation of
     N chains also overlaps.
+
+    ``processes=N`` moves whole chains into N worker *processes* (a
+    :class:`~repro.shard.pool.ProcessPool`) instead of threads — the GIL
+    stops mattering, so N chains genuinely use N cores.  Results are
+    bit-identical to the thread path: each chain receives the very same
+    spawned :class:`numpy.random.Generator` (pickled with its state) and
+    the same released measurement values.  Constraints: measurement plans
+    must be portable (:mod:`repro.shard.plan`) and live ``metrics``
+    callables cannot cross the boundary; process outcomes carry
+    ``synthesizer=None``.
     """
     from .synthesizer import DEFAULT_POW, GraphSynthesizer
 
     if chains < 1:
         raise ValueError("chains must be a positive integer")
+    if processes is not None and processes < 1:
+        raise ValueError("processes must be a positive integer")
     measurements = list(measurements)
     pow_ = DEFAULT_POW if pow_ is None else pow_
     generators = spawn_generators(rng, chains)
+
+    if processes is not None:
+        if metrics:
+            raise ValueError(
+                "metrics callables cannot cross a process boundary; run with "
+                "record_every and compute metrics from the returned graphs, "
+                "or use thread chains"
+            )
+        return _run_chains_processes(
+            measurements,
+            seed_graph,
+            steps=steps,
+            chains=chains,
+            pow_=pow_,
+            backend=backend,
+            generators=generators,
+            source_name=source_name,
+            record_every=record_every,
+            proposal_batch=proposal_batch,
+            processes=processes,
+            start_method=start_method,
+        )
 
     def run_one(index: int) -> ChainOutcome:
         synthesizer = GraphSynthesizer(
@@ -156,4 +197,58 @@ def run_chains(
     workers = max_workers or min(chains, os.cpu_count() or 1)
     with ThreadPoolExecutor(max_workers=workers) as executor:
         outcomes = list(executor.map(run_one, range(chains)))
+    return ParallelSynthesisResult(outcomes)
+
+
+def _run_chains_processes(
+    measurements: list[NoisyCountResult],
+    seed_graph: Graph,
+    *,
+    steps: int,
+    chains: int,
+    pow_: float,
+    backend: str,
+    generators: list[np.random.Generator],
+    source_name: str,
+    record_every: int | None,
+    proposal_batch: int | None,
+    processes: int,
+    start_method: str | None,
+) -> ParallelSynthesisResult:
+    """Whole-chain fan-out over a worker-process pool (see ``run_chains``)."""
+    from ..shard.chains import run_chain
+    from ..shard.plan import encode_measurement
+    from ..shard.pool import PoolTask, ProcessPool
+
+    portable = [encode_measurement(measurement) for measurement in measurements]
+    tasks = [
+        PoolTask(
+            run_chain,
+            kwargs={
+                "index": index,
+                "measurements": portable,
+                "seed_graph": seed_graph,
+                "steps": steps,
+                "pow_": pow_,
+                "backend": backend,
+                "source_name": source_name,
+                "record_every": record_every,
+                "proposal_batch": proposal_batch,
+                "rng": generators[index],
+            },
+        )
+        for index in range(chains)
+    ]
+    with ProcessPool(workers=min(processes, chains), start_method=start_method) as pool:
+        rows = pool.run_batch(tasks)
+    outcomes = [
+        ChainOutcome(
+            index=row["index"],
+            result=row["result"],
+            log_score=row["log_score"],
+            graph=row["graph"],
+            distances=row["distances"],
+        )
+        for row in sorted(rows, key=lambda row: row["index"])
+    ]
     return ParallelSynthesisResult(outcomes)

@@ -164,6 +164,7 @@ class GraphSynthesizer:
         proposal_batch: int | None = None,
         chains: int = 1,
         max_workers: int | None = None,
+        processes: int | None = None,
     ) -> MCMCResult:
         """Run ``steps`` proposals, recording graph metrics along the way.
 
@@ -177,9 +178,11 @@ class GraphSynthesizer:
         (:func:`repro.inference.parallel.run_chains`), adopts the
         best-scoring chain into this synthesizer, stores the full per-chain
         report on :attr:`last_parallel_result`, and returns the best chain's
-        result.
+        result.  ``processes=N`` additionally moves those chains into worker
+        processes (escaping the GIL); the winning chain comes back as a
+        graph, from which a fresh synthesizer is rebuilt and adopted.
         """
-        if chains > 1:
+        if chains > 1 or processes is not None:
             from .parallel import run_chains
 
             outcome = run_chains(
@@ -195,10 +198,27 @@ class GraphSynthesizer:
                 metrics=metrics,
                 proposal_batch=proposal_batch,
                 max_workers=max_workers,
+                processes=processes,
             )
             self.last_parallel_result = outcome
-            self._adopt(outcome.best.synthesizer)
-            return outcome.best.result
+            best = outcome.best
+            if best.synthesizer is not None:
+                self._adopt(best.synthesizer)
+            else:
+                # Process chains return graphs, not live engines: rebuild a
+                # synthesizer on the winning graph (scores recompute from the
+                # same fixed measurement targets, so they match the worker's).
+                self._adopt(
+                    GraphSynthesizer(
+                        self.measurements,
+                        best.graph,
+                        pow_=self.pow_,
+                        rng=self._rng,
+                        source_name=self.source_name,
+                        backend=self.backend,
+                    )
+                )
+            return best.result
         combined: dict[str, Callable[[], float]] = {
             "triangles": lambda: float(self.triangle_count()),
             "assortativity": self.assortativity,

@@ -31,6 +31,7 @@ pool size (``workers``) caps cross-tenant parallelism.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
@@ -99,8 +100,15 @@ class BatchingScheduler:
         # global pending bound, then the per-session queue bound.
         self._rate_limiter = rate_limiter
         self._shedder = shedder
+        # Scale the drain pool with the machine rather than a flat 4: each
+        # worker drains a different session's queue (batching is per-session),
+        # and the columnar kernels release the GIL, so more cores really do
+        # mean more concurrent drains.  Bounded at 8 — drains are short-lived,
+        # and a wide pool mostly adds idle threads on big hosts.
+        if workers is None:
+            workers = max(2, min(8, os.cpu_count() or 1))
         self._pool = ThreadPoolExecutor(
-            max_workers=workers or 4, thread_name_prefix="repro-service"
+            max_workers=workers, thread_name_prefix="repro-service"
         )
         self._lock = threading.Lock()
         self._queues: dict[str, list[_PendingRequest]] = {}

@@ -1,0 +1,58 @@
+"""Process-parallel sharded columnar execution.
+
+This package is the ROADMAP's "escape the GIL" layer: everything needed to
+run columnar work in *worker processes* instead of threads —
+
+* :mod:`~repro.shard.memory` — column buffers in
+  :mod:`multiprocessing.shared_memory` with zero-copy NumPy views and a
+  refcounted segment lifecycle, so a shard's arrays cross the process
+  boundary without serialising the data;
+* :mod:`~repro.shard.plan` — a picklable plan/spec protocol: plan DAGs
+  (sharing preserved) and released measurements encoded into portable value
+  objects, so workers rebuild executors without shipping closures;
+* :mod:`~repro.shard.interner` — :class:`ShardInterner`: a frozen snapshot
+  of the coordinator's interner broadcast to workers, worker-local
+  extensions in disjoint code namespaces, and a deterministic
+  reconciliation merge back into the coordinator's table;
+* :mod:`~repro.shard.dataset` — :class:`ShardedColumnarDataset`:
+  key-range partitioning of a columnar dataset plus the merge kernels
+  (order-preserving concat for record-disjoint shards, bincount sum for
+  overlapping ones) with the exactness rules documented per operator;
+* :mod:`~repro.shard.pool` — :class:`ProcessPool`, a persistent spawn-safe
+  worker-process pool with request/response framing, liveness checks,
+  crash detection with worker restart, and graceful shutdown;
+* :mod:`~repro.shard.executor` — :class:`ShardedExecutor`, the
+  :class:`~repro.core.executor.Executor`-protocol backend
+  (``create_executor("sharded")``): partition → per-shard vectorized
+  kernels in workers → merge, with a single-process vectorized fallback
+  for non-shardable plans;
+* :mod:`~repro.shard.chains` — whole-chain MCMC tasks for
+  ``run_chains(..., processes=N)``: each worker rebuilds measurements and
+  synthesizer from portable payloads and runs an entire chain, which is
+  the path that actually escapes the GIL for synthesis throughput.
+"""
+
+from .dataset import ShardedColumnarDataset, concat_merge, sum_merge
+from .executor import ShardedExecutor
+from .interner import ShardInterner
+from .memory import SharedSegment, attach_segment, pack_arrays
+from .plan import PortableMeasurement, PortablePlan, decode_plan, encode_plan
+from .pool import PoolError, ProcessPool, WorkerCrashError
+
+__all__ = [
+    "ShardedColumnarDataset",
+    "concat_merge",
+    "sum_merge",
+    "ShardedExecutor",
+    "ShardInterner",
+    "SharedSegment",
+    "attach_segment",
+    "pack_arrays",
+    "PortablePlan",
+    "PortableMeasurement",
+    "encode_plan",
+    "decode_plan",
+    "ProcessPool",
+    "PoolError",
+    "WorkerCrashError",
+]

@@ -1,0 +1,174 @@
+"""Shared-memory column buffers with zero-copy NumPy views.
+
+A shard request ships its source arrays (code columns + the weight vector)
+to a worker process through one :class:`multiprocessing.shared_memory
+.SharedMemory` segment instead of pickling the data: the coordinator packs
+the arrays back to back into a segment, sends only a small picklable
+*descriptor* (segment name + per-array dtype/shape/offset manifest), and the
+worker maps zero-copy ``ndarray`` views over the same physical pages.
+
+Lifecycle is refcounted on the owner side.  The coordinator acquires the
+segment once per outstanding request and releases it when the response (or
+the worker's crash) arrives; the last release closes *and unlinks* the
+segment, so a completed batch leaves nothing behind in ``/dev/shm`` — which
+the crash-robustness test asserts.  Workers never unlink: they attach,
+read, drop their views and close.
+
+CPython 3.11/3.12 caveat: attaching registers the segment with the
+``resource_tracker`` as if the attacher owned it (3.13 adds
+``SharedMemory(track=False)`` to opt out).  For *pool workers* this is
+benign by construction: spawn/fork children inherit the coordinator's
+tracker process, whose cache is a name set — the worker's attach-time
+registration deduplicates against the owner's create-time one, and the
+owner's ``unlink()`` removes the single entry.  Explicitly unregistering
+on attach would instead *double-remove* the shared entry (one noisy
+tracker KeyError per attach), so :func:`attach_segment` deliberately
+leaves the registration alone.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["SegmentDescriptor", "SharedSegment", "AttachedSegment", "pack_arrays", "attach_segment"]
+
+#: Alignment of each array inside a segment; keeps float64/int64 views on
+#: natural boundaries regardless of the preceding array's byte length.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SegmentDescriptor:
+    """The picklable half of a shared segment: its name and array manifest."""
+
+    __slots__ = ("name", "manifest")
+
+    def __init__(self, name: str, manifest: tuple[tuple[str, str, tuple[int, ...], int], ...]) -> None:
+        self.name = name
+        #: ``(key, dtype.str, shape, byte offset)`` per packed array.
+        self.manifest = manifest
+
+    def __getstate__(self):
+        return (self.name, self.manifest)
+
+    def __setstate__(self, state):
+        self.name, self.manifest = state
+
+    def __repr__(self) -> str:
+        return f"SegmentDescriptor({self.name!r}, arrays={len(self.manifest)})"
+
+
+class SharedSegment:
+    """Owner-side handle: refcounted, unlinked when the last reference drops."""
+
+    __slots__ = ("descriptor", "_shm", "_refs")
+
+    def __init__(self, shm: shared_memory.SharedMemory, descriptor: SegmentDescriptor) -> None:
+        self._shm = shm
+        self.descriptor = descriptor
+        self._refs = 1
+
+    def acquire(self) -> "SharedSegment":
+        if self._shm is None:
+            raise ValueError("segment already released")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last one closes and unlinks the segment."""
+        if self._shm is None:
+            return
+        self._refs -= 1
+        if self._refs <= 0:
+            shm, self._shm = self._shm, None
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    @property
+    def live(self) -> bool:
+        return self._shm is not None
+
+    def __del__(self):  # pragma: no cover - GC safety net only
+        try:
+            if self._shm is not None:
+                self._refs = 1
+                self.release()
+        except Exception:
+            pass
+
+
+def pack_arrays(arrays: Mapping[str, np.ndarray]) -> SharedSegment:
+    """Copy ``arrays`` into one fresh shared-memory segment.
+
+    Returns an owner handle whose :attr:`~SharedSegment.descriptor` is what
+    crosses the process boundary.  Arrays are laid out back to back,
+    64-byte aligned, in mapping order.
+    """
+    manifest: list[tuple[str, str, tuple[int, ...], int]] = []
+    offset = 0
+    prepared: list[tuple[str, np.ndarray, int]] = []
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        manifest.append((key, array.dtype.str, tuple(array.shape), offset))
+        prepared.append((key, array, offset))
+        offset += array.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for _, array, start in prepared:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=start)
+        view[...] = array
+        del view
+    return SharedSegment(shm, SegmentDescriptor(shm.name, tuple(manifest)))
+
+
+class AttachedSegment:
+    """Worker-side attachment: zero-copy views plus an explicit close.
+
+    ``close()`` drops the views and closes the local mapping; it never
+    unlinks.  If NumPy views created from :attr:`arrays` are still alive
+    elsewhere, the underlying ``mmap`` cannot close — ``close()`` then
+    leaves the mapping open (it is reclaimed when the process exits) rather
+    than raising into the worker loop.
+    """
+
+    __slots__ = ("_shm", "arrays")
+
+    def __init__(self, shm: shared_memory.SharedMemory, arrays: dict[str, np.ndarray]) -> None:
+        self._shm = shm
+        self.arrays = arrays
+
+    def close(self) -> bool:
+        """Release the local mapping; True if it actually closed."""
+        if self._shm is None:
+            return True
+        self.arrays = {}
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:
+            # A view escaped (e.g. an output column aliasing the input);
+            # the mapping stays open for the life of the process.
+            self._shm = shm
+            return False
+        return True
+
+
+def attach_segment(descriptor: SegmentDescriptor) -> AttachedSegment:
+    """Map an existing segment and return zero-copy views per the manifest."""
+    shm = shared_memory.SharedMemory(name=descriptor.name)
+    # The attach-time resource_tracker registration is left in place on
+    # purpose — see the module docstring for the shared-tracker argument.
+    arrays = {
+        key: np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        for key, dtype, shape, offset in descriptor.manifest
+    }
+    return AttachedSegment(shm, arrays)

@@ -1,0 +1,123 @@
+"""Range partitioning and the two cross-shard merge kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar.dataset import ColumnarDataset
+from repro.shard.dataset import (
+    ShardedColumnarDataset,
+    concat_merge,
+    partition_ranges,
+    sum_merge,
+)
+
+
+def _edges(count: int = 100) -> ColumnarDataset:
+    records = sorted({(i % 23, (i * 7) % 29) for i in range(count * 2)})[:count]
+    return ColumnarDataset.from_pairs(records, np.ones(len(records)))
+
+
+class TestPartitionRanges:
+    def test_ranges_cover_exactly_once(self):
+        for rows, shards in ((10, 3), (7, 7), (0, 2), (5, 1), (100, 4)):
+            ranges = partition_ranges(rows, shards)
+            assert len(ranges) == shards
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == rows
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start
+
+    def test_near_equal_and_deterministic(self):
+        ranges = partition_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_shards_than_rows_yields_empty_ranges(self):
+        ranges = partition_ranges(2, 4)
+        sizes = [stop - start for start, stop in ranges]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ValueError):
+            partition_ranges(5, 0)
+
+
+class TestPartition:
+    def test_shards_are_zero_copy_slices_covering_the_source(self):
+        dataset = _edges()
+        sharded = ShardedColumnarDataset.partition(dataset, 3)
+        assert sharded.shard_count == 3
+        assert len(sharded) == len(dataset)
+        assert sharded.total_weight() == pytest.approx(dataset.total_weight())
+        for column_index in range(dataset.arity):
+            rebuilt = np.concatenate(
+                [shard.columns[column_index] for shard in sharded.shards]
+            )
+            np.testing.assert_array_equal(rebuilt, dataset.columns[column_index])
+        # Slices share the source's buffers (no copies).
+        assert sharded.shards[0].columns[0].base is not None
+
+    def test_record_disjoint_by_construction(self):
+        dataset = _edges()
+        sharded = ShardedColumnarDataset.partition(dataset, 4)
+        seen: set[tuple] = set()
+        for shard in sharded.shards:
+            records = set(zip(*(column.tolist() for column in shard.columns)))
+            assert not (records & seen)
+            seen |= records
+
+
+class TestConcatMerge:
+    def test_bit_identical_including_row_order(self):
+        dataset = _edges()
+        sharded = ShardedColumnarDataset.partition(dataset, 3)
+        merged = concat_merge(sharded.shards)
+        assert merged.arity == dataset.arity
+        for got, want in zip(merged.columns, dataset.columns):
+            np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(merged.weights, dataset.weights)
+
+    def test_empty_shards_are_dropped(self):
+        dataset = _edges(5)
+        sharded = ShardedColumnarDataset.partition(dataset, 8)  # 3 empty tails
+        merged = sharded.merge(disjoint=True)
+        assert merged.to_weighted().to_dict() == dataset.to_weighted().to_dict()
+
+    def test_all_empty_shards_merge_to_empty(self):
+        empty = ColumnarDataset.empty(arity=2)
+        merged = concat_merge([empty, empty])
+        assert merged.is_empty()
+
+
+class TestSumMerge:
+    def test_overlapping_integer_weights_are_bit_exact(self):
+        records = [(i % 5,) for i in range(40)]
+        flat = ColumnarDataset.from_pairs(records, np.ones(40))
+        # Simulate overlapping shard outputs: two halves whose records alias.
+        first = ColumnarDataset.from_pairs(records[:20], np.ones(20))
+        second = ColumnarDataset.from_pairs(records[20:], np.ones(20))
+        merged = sum_merge([first, second])
+        assert merged.to_weighted().to_dict() == flat.to_weighted().to_dict()
+        np.testing.assert_array_equal(merged.weights, flat.weights)
+
+    def test_mixed_layouts_unify_on_record_codes(self):
+        tuples = ColumnarDataset.from_pairs([(1, 2)], np.ones(1))
+        scalars = ColumnarDataset.from_pairs(["x"], np.ones(1))
+        merged = sum_merge([tuples, scalars])
+        assert merged.arity is None
+        assert merged.to_weighted().to_dict() == {(1, 2): 1.0, "x": 1.0}
+
+    def test_float_weights_within_rounding(self):
+        rng = np.random.default_rng(0)
+        records = [(i % 7,) for i in range(50)]
+        weights = rng.uniform(0.1, 2.0, size=50)
+        flat = ColumnarDataset.from_pairs(records, weights)
+        half = ColumnarDataset.from_pairs(records[:25], weights[:25])
+        rest = ColumnarDataset.from_pairs(records[25:], weights[25:])
+        merged = sum_merge([half, rest])
+        got = merged.to_weighted().to_dict()
+        want = flat.to_weighted().to_dict()
+        assert set(got) == set(want)
+        for record, weight in want.items():
+            assert got[record] == pytest.approx(weight, abs=1e-9)

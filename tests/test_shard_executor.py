@@ -1,0 +1,181 @@
+"""ShardedExecutor: routing, inline/pool parity with the vectorized backend.
+
+Pool-mode tests use the ``fork`` start method for cheap worker startup; the
+CI smoke job drives the same paths under ``spawn`` via
+``REPRO_SHARD_START_METHOD``.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.columnar.executor import VectorizedExecutor
+from repro.columnar.specs import Field, FieldIs, JoinFields, Permute
+from repro.core import WeightedDataset
+from repro.core.executor import create_executor
+from repro.core.plan import (
+    ConcatPlan,
+    DistinctPlan,
+    DownScalePlan,
+    ExceptPlan,
+    GroupByPlan,
+    JoinPlan,
+    SelectManyPlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+    UnionPlan,
+    WherePlan,
+)
+from repro.exceptions import PlanError
+from repro.shard.executor import ShardedExecutor, default_shard_count
+
+
+@pytest.fixture()
+def environment():
+    edges = sorted({(i % 50, (i * 7) % 53) for i in range(400) if i % 50 != (i * 7) % 53})
+    return {"edges": WeightedDataset.from_records(edges)}
+
+
+def _plans():
+    source = SourcePlan("edges")
+    return {
+        "source": source,
+        "permute": SelectPlan(source, Permute(1, 0)),
+        "field": SelectPlan(source, Field(0)),
+        "where": WherePlan(source, FieldIs(0, 3)),
+        "down_scale": DownScalePlan(source, 0.5),
+        "shave": ShavePlan(source, 1.0),
+        "shave_select": SelectPlan(ShavePlan(source, 1.0), Field(1)),
+        "distinct": DistinctPlan(source, 1.0),
+        "concat": ConcatPlan(source, SelectPlan(source, Permute(1, 0))),
+    }
+
+
+class TestRouting:
+    def test_shardable_chains_route_sharded(self, environment):
+        executor = ShardedExecutor(environment, shards=3, pool=None, min_rows=0)
+        for plan in _plans().values():
+            assert executor.backend_for(plan) == "sharded"
+
+    def test_nonlinear_after_overlap_falls_back(self, environment):
+        executor = ShardedExecutor(environment, shards=3, pool=None, min_rows=0)
+        source = SourcePlan("edges")
+        # Field(0) loses disjointness; Shave/Distinct then need the whole
+        # record weight in one shard, so the chain cannot shard.
+        for plan in (
+            ShavePlan(SelectPlan(source, Field(0)), 1.0),
+            DistinctPlan(SelectPlan(source, Field(0)), 1.0),
+            GroupByPlan(source, Field(0), Field(1)),
+            UnionPlan(source, source),
+            JoinPlan(source, source, Field(0), Field(0), JoinFields(("l", 1), ("r", 1))),
+        ):
+            assert executor.backend_for(plan) == "vectorized"
+
+    def test_small_sources_are_not_worth_sharding(self, environment):
+        executor = ShardedExecutor(environment, shards=3, pool=None, min_rows=10_000)
+        assert executor.backend_for(SourcePlan("edges")) == "vectorized"
+
+    def test_single_shard_never_shards(self, environment):
+        executor = ShardedExecutor(environment, shards=1, pool=None, min_rows=0)
+        assert executor.backend_for(SourcePlan("edges")) == "vectorized"
+
+    def test_selectmany_shards_with_overlap_merge(self, environment):
+        executor = ShardedExecutor(environment, shards=3, pool=None, min_rows=0)
+        plan = SelectManyPlan(SourcePlan("edges"), Field(0))
+        info = executor._should_shard(plan)
+        assert info is not None and not info.disjoint
+
+
+class TestInlineParity:
+    def test_bit_identical_to_vectorized(self, environment):
+        plans = list(_plans().values())
+        expected = [d.to_dict() for d in VectorizedExecutor(environment).evaluate_many(plans)]
+        executor = ShardedExecutor(environment, shards=3, pool=None, min_rows=0)
+        assert executor.inline
+        for round_index in range(2):
+            got = [d.to_dict() for d in executor.evaluate_many(plans)]
+            assert got == expected, f"round {round_index}"
+
+    def test_mixed_batch_preserves_fallback_sharing(self, environment):
+        source = SourcePlan("edges")
+        shared = GroupByPlan(source, Field(0), Field(1))
+        plans = [source, shared, SelectPlan(source, Permute(1, 0)), shared]
+        executor = ShardedExecutor(environment, shards=2, pool=None, min_rows=0)
+        results = executor.evaluate_many(plans)
+        expected = VectorizedExecutor(environment).evaluate_many(plans)
+        for got, want in zip(results, expected):
+            assert got.to_dict() == want.to_dict()
+
+    def test_except_and_down_scale_chain(self, environment):
+        source = SourcePlan("edges")
+        plan = ExceptPlan(DownScalePlan(source, 0.5), SelectPlan(source, Permute(1, 0)))
+        executor = ShardedExecutor(environment, shards=4, pool=None, min_rows=0)
+        assert executor.backend_for(plan) == "sharded"
+        got = executor.evaluate(plan)
+        want = VectorizedExecutor(environment).evaluate(plan)
+        assert got.to_dict() == want.to_dict()
+
+
+class TestPoolParity:
+    def test_pooled_bit_identical_and_leak_free(self, environment):
+        plans = list(_plans().values())
+        expected = [d.to_dict() for d in VectorizedExecutor(environment).evaluate_many(plans)]
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="fork"
+        ) as executor:
+            assert not executor.inline
+            # Two rounds: the second exercises warm worker plan caches and
+            # the incremental interner-delta broadcast.
+            for round_index in range(2):
+                got = [d.to_dict() for d in executor.evaluate_many(plans)]
+                assert got == expected, f"round {round_index}"
+        assert not glob.glob("/dev/shm/psm_*")
+
+    def test_unportable_plan_degrades_to_fallback(self, environment):
+        plan = WherePlan(SourcePlan("edges"), lambda record: record[0] > 3)
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="fork"
+        ) as executor:
+            got = executor.evaluate(plan)
+        want = VectorizedExecutor(environment).evaluate(plan)
+        assert got.to_dict() == want.to_dict()
+
+    def test_reset_keeps_the_pool_warm(self, environment):
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="fork"
+        ) as executor:
+            first = executor.evaluate(SourcePlan("edges"))
+            pool = executor._pool
+            executor.reset()
+            second = executor.evaluate(SourcePlan("edges"))
+            assert executor._pool is pool
+            assert first.to_dict() == second.to_dict()
+
+
+class TestConfiguration:
+    def test_create_executor_resolves_sharded(self, environment):
+        executor = create_executor("sharded", environment)
+        assert isinstance(executor, ShardedExecutor)
+        executor.close()
+
+    def test_create_executor_still_rejects_unknown(self, environment):
+        with pytest.raises(PlanError, match="sharded"):
+            create_executor("shredded", environment)
+
+    def test_default_shard_count_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_PROCESSES", "7")
+        assert default_shard_count() == 7
+        monkeypatch.delenv("REPRO_SHARD_PROCESSES")
+        assert 2 <= default_shard_count() <= 4
+
+    def test_rejects_non_positive_shards(self, environment):
+        with pytest.raises(ValueError):
+            ShardedExecutor(environment, shards=0)
+
+    def test_close_is_idempotent_without_pool(self, environment):
+        executor = ShardedExecutor(environment, shards=2, pool=None)
+        executor.close()
+        executor.close()

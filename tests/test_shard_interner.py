@@ -1,0 +1,108 @@
+"""ShardInterner namespaces, frozen deltas and deterministic reconciliation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar.interning import Interner
+from repro.shard.interner import (
+    EXTENSION_OFFSET,
+    EXTENSION_STRIDE,
+    ShardInterner,
+    merge_extensions,
+    remap_codes,
+)
+
+
+class TestWorkerMode:
+    def test_frozen_codes_match_the_coordinator(self):
+        coordinator = Interner()
+        frozen = [coordinator.code(atom) for atom in ("a", "b", (1, 2))]
+        worker = ShardInterner(0)
+        worker.extend_frozen(["a", "b", (1, 2)])
+        assert [worker.code(atom) for atom in ("a", "b", (1, 2))] == frozen
+        assert worker.version == 3
+
+    def test_incremental_deltas_deduplicate(self):
+        worker = ShardInterner(0)
+        worker.extend_frozen(["a", "b"])
+        worker.extend_frozen(["b", "c"])  # overlapping resend is safe
+        assert worker.version == 3
+        assert worker.atom(2) == "c"
+
+    def test_unknown_atoms_get_namespaced_extension_codes(self):
+        left = ShardInterner(0)
+        right = ShardInterner(1)
+        code_left = left.code("new")
+        code_right = right.code("new")
+        assert code_left == EXTENSION_OFFSET
+        assert code_right == EXTENSION_OFFSET + EXTENSION_STRIDE
+        assert code_left != code_right  # same atom, disjoint namespaces
+        assert left.atom(code_left) == "new"
+
+    def test_take_extensions_drains_in_assignment_order(self):
+        worker = ShardInterner(2)
+        worker.code("x")
+        worker.code("y")
+        worker.code("x")  # repeat: no new extension
+        assert worker.take_extensions() == ["x", "y"]
+        assert worker.take_extensions() == []
+        # A fresh request starts the namespace over.
+        assert worker.code("z") == EXTENSION_OFFSET + 2 * EXTENSION_STRIDE
+
+    def test_len_and_stats_cover_both_ranges(self):
+        worker = ShardInterner(0)
+        worker.extend_frozen(["a", "b"])
+        worker.code("c")
+        assert len(worker) == 3
+        stats = worker.stats()
+        assert stats["frozen_atoms"] == 2
+        assert stats["extension_atoms"] == 1
+        assert stats["atoms"] == 3
+
+    def test_worker_index_range_is_validated(self):
+        with pytest.raises(ValueError):
+            ShardInterner(-1)
+        with pytest.raises(ValueError):
+            ShardInterner(EXTENSION_OFFSET // EXTENSION_STRIDE)
+
+
+class TestInlineMode:
+    def test_borrowed_snapshot_is_version_gated(self):
+        live = Interner()
+        live.code("old")
+        inline = ShardInterner(0, borrow=live)
+        live.code("new")  # after the snapshot: the shard must not see it
+        assert inline.code("old") == 0
+        assert inline.code("new") >= EXTENSION_OFFSET
+        with pytest.raises(ValueError):
+            inline.extend_frozen(["x"])
+
+
+class TestReconciliation:
+    def test_merge_and_remap_rewrite_extension_codes_only(self):
+        coordinator = Interner()
+        frozen_code = coordinator.code("seen")
+        worker = ShardInterner(1)
+        worker.extend_frozen(["seen"])
+        codes = worker.codes(["seen", "fresh", "fresher"])
+        mapping = merge_extensions(coordinator, worker.take_extensions())
+        remapped = remap_codes(codes, 1, mapping)
+        assert remapped[0] == frozen_code
+        assert list(remapped[1:]) == [coordinator.code("fresh"), coordinator.code("fresher")]
+        assert (remapped < EXTENSION_OFFSET).all()
+
+    def test_remap_returns_input_unchanged_without_extensions(self):
+        codes = np.array([0, 1, 2], dtype=np.int64)
+        out = remap_codes(codes, 0, np.array([], dtype=np.int64))
+        assert out is codes
+
+    def test_reconciliation_order_determines_coordinator_table(self):
+        tables = []
+        for _ in range(2):
+            coordinator = Interner()
+            for worker_index, atoms in ((0, ["p", "q"]), (1, ["q", "r"])):
+                merge_extensions(coordinator, atoms)
+            tables.append([coordinator.atom(code) for code in range(len(coordinator))])
+        assert tables[0] == tables[1] == ["p", "q", "r"]

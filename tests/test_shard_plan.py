@@ -1,0 +1,106 @@
+"""Portable plan/measurement protocol: round trips, sharing, portability."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analyses import protect_graph, triangles_by_intersect_query
+from repro.columnar.executor import VectorizedExecutor
+from repro.columnar.specs import Field, Permute
+from repro.core import PrivacySession, WeightedDataset
+from repro.core.plan import (
+    ConcatPlan,
+    DownScalePlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+)
+from repro.graph.generators import erdos_renyi
+from repro.shard.plan import (
+    UnportablePlanError,
+    decode_measurement,
+    decode_plan,
+    encode_measurement,
+    encode_plan,
+)
+
+
+def _environment():
+    edges = sorted({(i % 20, (i * 7) % 23) for i in range(150) if i % 20 != (i * 7) % 23})
+    return {"edges": WeightedDataset.from_records(edges)}
+
+
+def _chain():
+    source = SourcePlan("edges")
+    flipped = SelectPlan(source, Permute(1, 0))
+    return ConcatPlan(flipped, DownScalePlan(SelectPlan(source, Field(0)), 0.5))
+
+
+class TestPlanRoundTrip:
+    def test_decode_evaluates_identically(self):
+        environment = _environment()
+        plan = _chain()
+        rebuilt = decode_plan(encode_plan(plan))
+        assert rebuilt is not plan
+        expected = VectorizedExecutor(environment).evaluate(plan)
+        got = VectorizedExecutor(environment).evaluate(rebuilt)
+        assert expected.to_dict() == got.to_dict()
+
+    def test_round_trip_survives_pickle(self):
+        portable = encode_plan(_chain())
+        clone = pickle.loads(pickle.dumps(portable))
+        assert clone.nodes == portable.nodes
+        assert clone.fingerprint() == portable.fingerprint()
+
+    def test_shared_subplans_stay_shared(self):
+        source = SourcePlan("edges")
+        shaved = ShavePlan(source, 1.0)
+        plan = ConcatPlan(SelectPlan(shaved, Field(0)), SelectPlan(shaved, Field(1)))
+        portable = encode_plan(plan)
+        # One row per distinct node: source, shave, two selects, concat.
+        assert len(portable.nodes) == 5
+        rebuilt = decode_plan(portable)
+        assert rebuilt.left.child is rebuilt.right.child
+
+    def test_fingerprint_is_structural(self):
+        first = encode_plan(_chain())
+        second = encode_plan(_chain())  # independently built, same structure
+        assert first.fingerprint() == second.fingerprint()
+        other = encode_plan(SelectPlan(SourcePlan("edges"), Field(0)))
+        assert other.fingerprint() != first.fingerprint()
+
+    def test_lambda_parameters_are_rejected_with_named_node(self):
+        plan = SelectPlan(SourcePlan("edges"), lambda record: record[0])
+        with pytest.raises(UnportablePlanError, match="mapper"):
+            encode_plan(plan)
+
+
+class TestMeasurementRoundTrip:
+    def test_released_values_cross_bit_identically(self):
+        graph = erdos_renyi(20, 45, rng=4)
+        session = PrivacySession(seed=4)
+        protected = protect_graph(session, graph, total_epsilon=float("inf"))
+        measurement = triangles_by_intersect_query(protected).noisy_count(
+            0.5, query_name="tbi"
+        )
+        rebuilt = decode_measurement(encode_measurement(measurement))
+        assert rebuilt.epsilon == measurement.epsilon
+        assert rebuilt.query_name == measurement.query_name
+        assert dict(rebuilt.items()) == dict(measurement.items())
+        # The released targets answer identically on both sides.
+        for record, value in measurement.items():
+            assert rebuilt[record] == value
+
+    def test_plan_cache_shares_decoded_plans_across_requests(self):
+        graph = erdos_renyi(15, 30, rng=5)
+        session = PrivacySession(seed=5)
+        protected = protect_graph(session, graph, total_epsilon=float("inf"))
+        measurement = triangles_by_intersect_query(protected).noisy_count(0.5)
+        portable = encode_measurement(measurement)
+        cache: dict = {}
+        first = decode_measurement(portable, plan_cache=cache)
+        second = decode_measurement(portable, plan_cache=cache)
+        assert first.plan is second.plan
+        assert len(cache) == 1

@@ -1,0 +1,173 @@
+"""ProcessPool: framing, prepare hooks, crash recovery, clean shutdown.
+
+The task functions live at module level so spawn workers can unpickle them
+by reference (pytest puts ``tests/`` on ``sys.path``, which spawned children
+inherit).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.shard.memory import attach_segment, pack_arrays
+from repro.shard.pool import (
+    PoolError,
+    PoolTask,
+    ProcessPool,
+    TaskFailedError,
+    WorkerCrashError,
+)
+
+
+def double(value):
+    return value * 2
+
+
+def add(value, bonus=0):
+    return value + bonus
+
+
+def fail(message):
+    raise ValueError(message)
+
+
+def make_lambda():
+    return lambda: None  # unpicklable on purpose
+
+
+def sleep_forever():
+    time.sleep(60)
+
+
+def kill_self():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def die_once_then_sum(descriptor, flag_path):
+    """First attempt: attach the segment and die hard; retry: return the sum."""
+    attached = attach_segment(descriptor)
+    try:
+        total = float(attached.arrays["x"].sum())
+    finally:
+        attached.close()
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w", encoding="utf-8") as handle:
+            handle.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return total
+
+
+class TestBatches:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_results_in_task_order(self, start_method):
+        with ProcessPool(workers=2, start_method=start_method) as pool:
+            results = pool.run_batch([PoolTask(double, (i,)) for i in range(7)])
+            assert results == [i * 2 for i in range(7)]
+            # The pool is persistent: a second batch reuses the workers.
+            assert pool.run_batch([PoolTask(double, (10,))]) == [20]
+
+    def test_empty_batch(self):
+        with ProcessPool(workers=1, start_method="fork") as pool:
+            assert pool.run_batch([]) == []
+
+    def test_prepare_hook_adds_dispatch_time_kwargs(self):
+        with ProcessPool(workers=2, start_method="fork") as pool:
+            tasks = [
+                PoolTask(add, (5,), prepare=lambda worker: {"bonus": worker.index * 100})
+                for _ in range(4)
+            ]
+            results = pool.run_batch(tasks)
+            assert all(result in (5, 105) for result in results)
+
+    def test_task_exception_carries_remote_traceback(self):
+        with ProcessPool(workers=1, start_method="fork") as pool:
+            with pytest.raises(TaskFailedError, match="boom") as excinfo:
+                pool.run_batch([PoolTask(fail, ("boom",))])
+            assert "ValueError" in excinfo.value.remote_traceback
+            # A raised task does not poison the pool.
+            assert pool.run_batch([PoolTask(double, (3,))]) == [6]
+
+    def test_unpicklable_result_is_an_error_not_a_hang(self):
+        with ProcessPool(workers=1, start_method="fork") as pool:
+            with pytest.raises(TaskFailedError, match="unpicklable result"):
+                pool.run_batch([PoolTask(make_lambda)])
+            assert pool.run_batch([PoolTask(double, (4,))]) == [8]
+
+    def test_ping_heartbeats(self):
+        with ProcessPool(workers=2, start_method="fork") as pool:
+            latencies = pool.ping()
+            assert len(latencies) == 2
+            assert all(latency >= 0 for latency in latencies)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_batch_retries_and_leaves_no_shm_segment(self, tmp_path):
+        """The ISSUE's robustness scenario: a worker is SIGKILLed while
+        holding a shared-memory segment mid-batch.  The batch must finish
+        (the task retries on a fresh incarnation), the pool must stay
+        usable, and the segment must not leak into /dev/shm."""
+        segment = pack_arrays({"x": np.arange(10, dtype=np.float64)})
+        flag = tmp_path / "died.flag"
+        with ProcessPool(workers=2, start_method="fork", retries=1) as pool:
+            tasks = [PoolTask(double, (i,)) for i in range(3)]
+            tasks.insert(
+                1, PoolTask(die_once_then_sum, (segment.descriptor, str(flag)))
+            )
+            results = pool.run_batch(tasks)
+            assert results[0] == 0 and results[2] == 2 and results[3] == 4
+            assert results[1] == pytest.approx(45.0)
+            assert flag.exists()
+            assert pool.restarts == 1
+            # Not hung, still serving:
+            assert pool.run_batch([PoolTask(double, (21,))]) == [42]
+        segment.release()
+        assert not glob.glob(f"/dev/shm/{segment.descriptor.name.lstrip('/')}")
+
+    def test_retries_exhausted_fails_cleanly_and_pool_survives(self):
+        with ProcessPool(workers=1, start_method="fork", retries=0) as pool:
+            with pytest.raises(WorkerCrashError, match="died"):
+                pool.run_batch([PoolTask(kill_self)])
+            assert pool.restarts == 1
+            assert pool.run_batch([PoolTask(double, (1,))]) == [2]
+
+    def test_deadline_overrun_kills_and_reports(self):
+        with ProcessPool(
+            workers=1, start_method="fork", task_timeout=0.5, retries=0
+        ) as pool:
+            with pytest.raises(WorkerCrashError, match="deadline"):
+                pool.run_batch([PoolTask(sleep_forever)])
+            assert pool.run_batch([PoolTask(double, (2,))]) == [4]
+
+    def test_other_tasks_complete_despite_a_doomed_task(self):
+        with ProcessPool(workers=2, start_method="fork", retries=0) as pool:
+            tasks = [PoolTask(double, (i,)) for i in range(6)]
+            tasks.insert(3, PoolTask(kill_self))
+            with pytest.raises(WorkerCrashError):
+                pool.run_batch(tasks)
+            # The batch terminated and the pool still answers.
+            assert pool.run_batch([PoolTask(double, (5,))]) == [10]
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent_and_rejects_new_batches(self):
+        pool = ProcessPool(workers=1, start_method="fork")
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(PoolError, match="shut down"):
+            pool.run_batch([PoolTask(double, (1,))])
+
+    def test_workers_are_daemonic(self):
+        with ProcessPool(workers=1, start_method="fork") as pool:
+            assert all(worker.process.daemon for worker in pool.workers)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            ProcessPool(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPool(workers=1, start_method="threads")

@@ -1,0 +1,123 @@
+"""Property: ShardedExecutor ≡ VectorizedExecutor for every transformation.
+
+The hypothesis sweep drives the inline shard path (same partition,
+namespaces and merge kernels as pool mode, no processes) across shard
+counts 1–4 over all twelve stable transformations, expressed with
+process-safe structural specs — the record callables of the columnar
+property tests (``hash(x) % 3``) are deliberately *not* used here, because
+``hash(str)`` is salted per process and such plans are exactly what the
+portability layer rejects.
+
+Exactness contract (see :mod:`repro.shard.dataset`):
+
+* integer weights — bit-identical for every transformation, because both
+  the concat merge and the sum merge add exactly-representable partials;
+* float weights — bit-identical for chains that stay record-disjoint,
+  within 1e-9 for overlap-merged ones (regrouped float sums).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar.executor import VectorizedExecutor
+from repro.columnar.specs import (
+    ExplodeFields,
+    Field,
+    FieldsDiffer,
+    GroupSize,
+    JoinFields,
+    Permute,
+)
+from repro.core import WeightedDataset
+from repro.core.plan import (
+    ConcatPlan,
+    DistinctPlan,
+    DownScalePlan,
+    ExceptPlan,
+    GroupByPlan,
+    IntersectPlan,
+    JoinPlan,
+    SelectManyPlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+    UnionPlan,
+    WherePlan,
+)
+from repro.shard.executor import ShardedExecutor
+
+SOURCE = SourcePlan("edges")
+OTHER = SourcePlan("other")
+
+#: All twelve stable transformations as portable plans over pair records.
+PLANS = {
+    "select": SelectPlan(SOURCE, Permute(1, 0)),
+    "select_overlap": SelectPlan(SOURCE, Field(0)),
+    "where": WherePlan(SOURCE, FieldsDiffer(0, 1)),
+    "select_many": SelectManyPlan(SOURCE, ExplodeFields()),
+    "group_by": GroupByPlan(SOURCE, Field(0), GroupSize()),
+    "shave": ShavePlan(SOURCE, 1.0),
+    "distinct": DistinctPlan(SOURCE, 1.0),
+    "down_scale": DownScalePlan(SOURCE, 0.5),
+    "join": JoinPlan(SOURCE, OTHER, Field(0), Field(0), JoinFields(("l", 1), ("r", 1))),
+    "union": UnionPlan(SOURCE, OTHER),
+    "intersect": IntersectPlan(SOURCE, OTHER),
+    "concat": ConcatPlan(SOURCE, SelectPlan(OTHER, Permute(1, 0))),
+    "except": ExceptPlan(SOURCE, OTHER),
+}
+
+#: Chains whose sharded output is overlap-merged (float sums may regroup).
+OVERLAP_MERGED = {"select_overlap", "select_many", "concat", "except"}
+
+
+def pair_records():
+    field = st.integers(min_value=0, max_value=6)
+    return st.tuples(field, field)
+
+
+def integer_datasets():
+    return st.dictionaries(
+        pair_records(), st.integers(min_value=1, max_value=5).map(float), max_size=10
+    )
+
+
+def float_datasets():
+    return st.dictionaries(
+        pair_records(),
+        st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+        max_size=10,
+    )
+
+
+def _compare(name, environment, shards, exact):
+    plan = PLANS[name]
+    expected = VectorizedExecutor(environment).evaluate(plan).to_dict()
+    executor = ShardedExecutor(environment, shards=shards, pool=None, min_rows=0)
+    got = executor.evaluate(plan).to_dict()
+    if exact or name not in OVERLAP_MERGED:
+        assert got == expected, f"{name} @ {shards} shards"
+    else:
+        assert set(got) == set(expected), f"{name} @ {shards} shards"
+        for record, weight in expected.items():
+            assert got[record] == pytest.approx(weight, abs=1e-9), (
+                f"{name} @ {shards} shards: {record}"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(PLANS))
+@given(a=integer_datasets(), b=integer_datasets(), shards=st.integers(1, 4))
+@settings(deadline=None, max_examples=25)
+def test_integer_weights_bit_identical(name, a, b, shards):
+    environment = {"edges": WeightedDataset(a), "other": WeightedDataset(b)}
+    _compare(name, environment, shards, exact=True)
+
+
+@pytest.mark.parametrize("name", sorted(PLANS))
+@given(a=float_datasets(), b=float_datasets(), shards=st.integers(1, 4))
+@settings(deadline=None, max_examples=25)
+def test_float_weights_match_within_merge_contract(name, a, b, shards):
+    environment = {"edges": WeightedDataset(a), "other": WeightedDataset(b)}
+    _compare(name, environment, shards, exact=False)

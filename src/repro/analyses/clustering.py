@@ -12,6 +12,7 @@ can consume directly.
 
 from __future__ import annotations
 
+from ..columnar.specs import Constant
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
 from ..graph.graph import Graph
@@ -39,7 +40,7 @@ def wedges_query(edges: Queryable) -> Queryable:
     total equals ``Σ_b (d_b − 1)/2`` — half the number of wedges per centre,
     discounted by the centre's degree.  Uses the edge dataset twice.
     """
-    return length_two_paths(edges).select(lambda path: "wedge")
+    return length_two_paths(edges).select(Constant("wedge"))
 
 
 def measure_wedges(edges: Queryable, epsilon: float) -> NoisyCountResult:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..columnar.specs import Field
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
 from .common import shared_query, node_degrees, reverse_edge
@@ -24,6 +25,28 @@ __all__ = [
     "jdd_record_weight",
     "rescale_jdd_measurement",
 ]
+
+
+# Record functions for the nested ``((a, b), d_a)`` records below; module
+# level (never lambdas) so the JDD plan stays portable to shard workers.
+def _attach_edge_degree(record, edge):
+    """``((a, b), d_a)`` — pair a directed edge with its source's degree."""
+    return (edge, record[1])
+
+
+def _edge_of(record):
+    """The edge component of a ``(edge, degree)`` record."""
+    return record[0]
+
+
+def _reversed_edge_of(record):
+    """The reversed edge component — matches ``(a, b)`` with ``(b, a)``."""
+    return reverse_edge(record[0])
+
+
+def _degree_pair(left, right):
+    """``(d_a, d_b)`` from the two matched ``(edge, degree)`` records."""
+    return (left[1], right[1])
 
 
 @shared_query
@@ -43,15 +66,15 @@ def joint_degree_query(edges: Queryable) -> Queryable:
     degrees = node_degrees(edges)
     edge_with_degree = degrees.join(
         edges,
-        left_key=lambda record: record[0],
-        right_key=lambda edge: edge[0],
-        result_selector=lambda record, edge: (edge, record[1]),
+        left_key=Field(0),
+        right_key=Field(0),
+        result_selector=_attach_edge_degree,
     )
     return edge_with_degree.join(
         edge_with_degree,
-        left_key=lambda record: record[0],
-        right_key=lambda record: reverse_edge(record[0]),
-        result_selector=lambda left, right: (left[1], right[1]),
+        left_key=_edge_of,
+        right_key=_reversed_edge_of,
+        result_selector=_degree_pair,
     )
 
 

@@ -22,9 +22,10 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
+from ..columnar.specs import Constant, Field, FieldsDiffer, JoinFields, Permute
 from ..core.aggregation import NoisyCountResult
 from ..core.queryable import Queryable
-from .common import shared_query, length_two_paths, node_degrees, rotate
+from .common import shared_query, length_two_paths, node_degrees
 
 __all__ = [
     "paths_query",
@@ -56,13 +57,16 @@ def paths_query(edges: Queryable, length: int) -> Queryable:
     if length == 2:
         return length_two_paths(edges)
     shorter = paths_query(edges, length - 1)
+    # A ``(length−1)``-edge path has ``length`` vertices, so every record
+    # function below is a structural spec over that known arity: paths of any
+    # length run on the vectorized backend and ship to shard workers.
     extended = shorter.join(
         edges,
-        left_key=lambda path: path[-1],
-        right_key=lambda edge: edge[0],
-        result_selector=lambda path, edge: tuple(path) + (edge[1],),
+        left_key=Field(length - 1),
+        right_key=Field(0),
+        result_selector=JoinFields(*[("l", i) for i in range(length)], ("r", 1)),
     )
-    return extended.where(lambda path: path[-1] != path[-3])
+    return extended.where(FieldsDiffer(length, length - 2))
 
 
 @shared_query
@@ -77,10 +81,11 @@ def cycles_by_intersect_query(edges: Queryable, cycle_length: int) -> Queryable:
     if cycle_length < 3:
         raise ValueError("cycles need at least three vertices")
     paths = paths_query(edges, cycle_length - 1)
-    closed = paths.select(rotate).intersect(paths)
+    rotation = Permute(*range(1, cycle_length), 0)
+    closed = paths.select(rotation).intersect(paths)
     # Funnel every surviving path onto one record so a single NoisyCount
     # summarises the motif prevalence.
-    return closed.select(lambda path: f"cycle-{cycle_length}")
+    return closed.select(Constant(f"cycle-{cycle_length}"))
 
 
 def edge_uses_for_paths(length: int) -> int:
@@ -116,7 +121,7 @@ def star_degree_query(edges: Queryable) -> Queryable:
     one record ``(vertex, degree)`` per vertex, each of weight 0.5, projected
     onto its degree so identical degrees accumulate.
     """
-    return node_degrees(edges).select(lambda record: record[1])
+    return node_degrees(edges).select(Field(1))
 
 
 def stars_from_degree_histogram(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..columnar.specs import Field
 from ..core.aggregation import NoisyCountResult
 from ..core.laplace import LaplaceNoise, validate_epsilon
 from ..core.queryable import Queryable
@@ -36,6 +37,52 @@ __all__ = [
 SBD_EDGE_USES = 12
 
 
+# Record functions for the nested ``(path, degree...)`` records below; module
+# level (never lambdas) so the SbD plan stays portable to shard workers.
+def _attach_middle_degree(path, record):
+    """``((a, b, c), d_b)`` — pair a path with its middle vertex's degree."""
+    return (path, record[1])
+
+
+def _shared_edge_left(record):
+    """The trailing edge ``(b, c)`` of the left path — the join key."""
+    return (record[0][1], record[0][2])
+
+
+def _shared_edge_right(record):
+    """The leading edge ``(b, c)`` of the right path — the join key."""
+    return (record[0][0], record[0][1])
+
+
+def _extend_path(left, right):
+    """``((a, b, c, d), d_b, d_c)`` from the two overlapping 2-paths."""
+    return (
+        (left[0][0], left[0][1], left[0][2], right[0][2]),
+        left[1],
+        right[1],
+    )
+
+
+def _endpoints_differ(record):
+    """Drop degenerate 3-paths whose endpoints coincide (``a == d``)."""
+    return record[0][0] != record[0][3]
+
+
+def _rotate_path_twice(record):
+    """``((c, d, a, b), d_b, d_c)`` — double rotation of the path component."""
+    return (rotate(rotate(record[0])), record[1], record[2])
+
+
+def _path_of(record):
+    """The path component of a ``(path, ...)`` record (the join key)."""
+    return record[0]
+
+
+def _collect_corner_degrees(left, right):
+    """All four corner degrees ``(d_d, d_b, d_c, d_a)`` for a closed 4-cycle."""
+    return (right[1], left[1], left[2], right[2])
+
+
 @shared_query
 def squares_by_degree_query(edges: Queryable) -> Queryable:
     """The SbD query: sorted degree quadruples of every 4-cycle.
@@ -53,33 +100,27 @@ def squares_by_degree_query(edges: Queryable) -> Queryable:
 
     path_with_middle_degree = paths.join(
         degrees,
-        left_key=lambda path: path[1],
-        right_key=lambda record: record[0],
-        result_selector=lambda path, record: (path, record[1]),
+        left_key=Field(1),
+        right_key=Field(0),
+        result_selector=_attach_middle_degree,
     )
 
     # Join length-two paths (a,b,c) and (b,c,d) on their shared edge (b,c),
     # carrying the middle degrees d_b (from the left) and d_c (from the right).
     length_three = path_with_middle_degree.join(
         path_with_middle_degree,
-        left_key=lambda record: (record[0][1], record[0][2]),
-        right_key=lambda record: (record[0][0], record[0][1]),
-        result_selector=lambda left, right: (
-            (left[0][0], left[0][1], left[0][2], right[0][2]),
-            left[1],
-            right[1],
-        ),
-    ).where(lambda record: record[0][0] != record[0][3])
+        left_key=_shared_edge_left,
+        right_key=_shared_edge_right,
+        result_selector=_extend_path,
+    ).where(_endpoints_differ)
 
-    rotated_twice = length_three.select(
-        lambda record: (rotate(rotate(record[0])), record[1], record[2])
-    )
+    rotated_twice = length_three.select(_rotate_path_twice)
 
     squares = length_three.join(
         rotated_twice,
-        left_key=lambda record: record[0],
-        right_key=lambda record: record[0],
-        result_selector=lambda left, right: (right[1], left[1], left[2], right[2]),
+        left_key=_path_of,
+        right_key=_path_of,
+        result_selector=_collect_corner_degrees,
     )
     return squares.select(sorted_degrees)
 

@@ -25,7 +25,7 @@ from typing import Any
 
 import numpy as np
 
-from ..columnar.specs import Constant, Permute
+from ..columnar.specs import Constant, Field, Permute
 from ..core.aggregation import NoisyCountResult
 from ..core.laplace import LaplaceNoise, validate_epsilon
 from ..core.queryable import Queryable
@@ -56,6 +56,34 @@ TBI_EDGE_USES = 4
 # ----------------------------------------------------------------------
 # Triangles by Degree (TbD)
 # ----------------------------------------------------------------------
+# Record functions for the nested ``(path, degree...)`` records below.
+# Module-level (never lambdas) so TbD plans stay portable to shard workers
+# (R005); the flat-record steps use structural specs instead.
+def _attach_middle_degree(path, record):
+    """``((a, b, c), d_b)`` — pair a path with its middle vertex's degree."""
+    return (path, record[1])
+
+
+def _rotate_keyed_path(record):
+    """Rotate the path component, carrying the attached degree along."""
+    return (rotate(record[0]), record[1])
+
+
+def _path_of(record):
+    """The path component of a ``(path, ...)`` record (the join key)."""
+    return record[0]
+
+
+def _merge_first_degree(left, right):
+    """``(path, d_b, d_a)`` from ``(path, d_b)`` and the rotated ``(path, d_a)``."""
+    return (left[0], left[1], right[1])
+
+
+def _collect_corner_degrees(left, right):
+    """All three corner degrees ``(d_c, d_b, d_a)`` for a closed path."""
+    return (right[1], left[1], left[2])
+
+
 @shared_query
 def triangles_by_degree_query(edges: Queryable, bucket: int = 1) -> Queryable:
     """The TbD query: sorted degree triples weighted per equation (4).
@@ -80,26 +108,24 @@ def triangles_by_degree_query(edges: Queryable, bucket: int = 1) -> Queryable:
 
     path_with_middle_degree = paths.join(
         degrees,
-        left_key=lambda path: path[1],
-        right_key=lambda record: record[0],
-        result_selector=lambda path, record: (path, record[1]),
+        left_key=Field(1),
+        right_key=Field(0),
+        result_selector=_attach_middle_degree,
     )
-    rotated_once = path_with_middle_degree.select(
-        lambda record: (rotate(record[0]), record[1])
-    )
-    rotated_twice = rotated_once.select(lambda record: (rotate(record[0]), record[1]))
+    rotated_once = path_with_middle_degree.select(_rotate_keyed_path)
+    rotated_twice = rotated_once.select(_rotate_keyed_path)
 
     first_join = path_with_middle_degree.join(
         rotated_once,
-        left_key=lambda record: record[0],
-        right_key=lambda record: record[0],
-        result_selector=lambda left, right: (left[0], left[1], right[1]),
+        left_key=_path_of,
+        right_key=_path_of,
+        result_selector=_merge_first_degree,
     )
     all_degrees = first_join.join(
         rotated_twice,
-        left_key=lambda record: record[0],
-        right_key=lambda record: record[0],
-        result_selector=lambda left, right: (right[1], left[1], left[2]),
+        left_key=_path_of,
+        right_key=_path_of,
+        result_selector=_collect_corner_degrees,
     )
     return all_degrees.select(sorted_degrees)
 

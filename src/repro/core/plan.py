@@ -309,7 +309,10 @@ class ExceptPlan(_BinaryPlan):
 
 
 def explain_plan(
-    plan: Plan, epsilon: float | None = None, backend: str | None = None
+    plan: Plan,
+    epsilon: float | None = None,
+    backend: str | None = None,
+    verify: bool = False,
 ) -> str:
     """Render a plan as a readable tree annotated with privacy multiplicities.
 
@@ -322,10 +325,23 @@ def explain_plan(
     ``backend`` (``"eager"``, ``"dataflow"`` or ``"vectorized"``) annotates
     every node with the execution backend that will evaluate it, making the
     ``"auto"`` executor's routing decisions inspectable.
+
+    ``verify=True`` runs the static plan checker of :mod:`repro.lint.plans`:
+    every node is annotated with its derived per-source stability bound, and
+    a footer compares the ε the budget machinery would charge against what
+    the bound requires, plus the portability verdict of the shard codec's
+    analysis.  The default output is byte-identical to ``verify=False``.
     """
     if not isinstance(plan, Plan):
         raise PlanError(f"explain_plan expects a Plan, got {type(plan).__name__}")
     suffix = f" @{backend}" if backend else ""
+
+    report = None
+    if verify:
+        # Imported lazily: repro.lint.plans imports this module.
+        from ..lint.plans import format_bounds, verify_plan
+
+        report = verify_plan(plan, epsilon)
 
     references: Counter = Counter()
 
@@ -351,7 +367,10 @@ def explain_plan(
         if node_id in shared_ids:
             tags[node_id] = len(tags) + 1
             tag = f"  [#{tags[node_id]}]"
-        lines.append(f"{pad}{node._label()}{suffix}{tag}")
+        bound = ""
+        if report is not None:
+            bound = f"  [stability: {format_bounds(report.node_bounds[node_id])}]"
+        lines.append(f"{pad}{node._label()}{suffix}{tag}{bound}")
         for child in node.children:
             render(child, depth + 1)
 
@@ -370,4 +389,44 @@ def explain_plan(
             else:
                 note += f"  (a measurement at eps charges {uses}*eps)"
             lines.append(note)
+
+    if report is not None:
+        lines.append("")
+        lines.append("static verification:")
+        lines.append(f"  stability bound: {format_bounds(report.bounds) or '(no sources)'}")
+        for name, bound in sorted(report.bounds.items()):
+            uses = multiplicities.get(name, 0)
+            if epsilon is None:
+                lines.append(
+                    f"  {name}: a measurement at eps must charge >= {bound:g}*eps "
+                    f"(the budget machinery charges {uses}*eps)"
+                )
+                continue
+            charged = uses * epsilon
+            required = bound * epsilon
+            issue = next(
+                (
+                    item
+                    for item in report.issues
+                    if item.kind.startswith("epsilon") and item.node == name
+                ),
+                None,
+            )
+            if issue is None:
+                status = "OK"
+            elif issue.kind == "epsilon-overcharge":
+                status = "OK (conservative: DownScale tightens the bound)"
+            else:
+                status = "MISMATCH (under-protected)"
+            lines.append(
+                f"  {name}: charged {charged:g}, bound requires {required:g}"
+                f"  -> {status}"
+            )
+        portability = [item for item in report.issues if item.kind == "unportable"]
+        if not portability:
+            lines.append("  portability: OK (plan can ship to shard workers)")
+        else:
+            lines.append(f"  portability: {len(portability)} issue(s)")
+            for item in portability:
+                lines.append(f"    - {item.message}")
     return "\n".join(lines)

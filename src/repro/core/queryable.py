@@ -373,7 +373,7 @@ class Queryable:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def explain(self, epsilon: float | None = None) -> str:
+    def explain(self, epsilon: float | None = None, verify: bool = False) -> str:
         """Render the plan as a readable tree with per-source multiplicities.
 
         Shared sub-plans (evaluated once per batch by every backend) are
@@ -382,12 +382,14 @@ class Queryable:
         amounts when ``epsilon`` is given.  Every node is annotated with the
         backend the session's executor will evaluate this plan on (``@eager``
         / ``@dataflow`` / ``@vectorized``), so the ``"auto"`` executor's
-        size-based routing is inspectable.  Also available from the shell as
-        ``python -m repro explain <query>``.
+        size-based routing is inspectable.  ``verify=True`` adds the static
+        stability/portability verification of :mod:`repro.lint.plans` (see
+        :func:`~repro.core.plan.explain_plan`).  Also available from the
+        shell as ``python -m repro explain <query> [--verify]``.
         """
         backend_for = getattr(self._session.executor, "backend_for", None)
         backend = backend_for(self._plan) if backend_for is not None else None
-        return explain_plan(self._plan, epsilon, backend=backend)
+        return explain_plan(self._plan, epsilon, backend=backend, verify=verify)
 
     # ------------------------------------------------------------------
     # Aggregations

@@ -1,0 +1,71 @@
+"""Static analysis for privacy invariants.
+
+Two analyzers live here:
+
+* :mod:`repro.lint.plans` — walks a :class:`~repro.core.plan.Plan` DAG and
+  derives a static per-source stability bound from the transformation
+  constants of :mod:`repro.core.transformations` (every unary transformation
+  is 1-stable, binary operators are bounded by the sum of their input
+  distances per Theorem 4, ``DownScale`` tightens by its factor), verifies
+  that a measurement's charged ε matches the derived sensitivity, and
+  detects unportable closures before the shard codec hits them at runtime.
+* :mod:`repro.lint.rules` + :mod:`repro.lint.engine` — an AST linter over
+  the source tree enforcing the repo-wide privacy/concurrency invariants
+  (rules R001–R006; run it with ``repro lint``).
+
+:mod:`repro.lint.portability` is the shared portability analysis: the shard
+codec (:mod:`repro.shard.plan`) delegates to it, so the static checker and
+the runtime wire format can never disagree about what crosses a process
+boundary.
+"""
+
+from .engine import (
+    Baseline,
+    LintError,
+    LintIssue,
+    ModuleSource,
+    Rule,
+    format_issues,
+    lint_paths,
+)
+from .plans import (
+    PlanIssue,
+    StabilityReport,
+    check_portability,
+    format_bounds,
+    stability_bounds,
+    verify_epsilon,
+    verify_plan,
+)
+from .portability import (
+    PLAN_PARAMS,
+    UnportablePlanError,
+    check_portable,
+    plan_portability_issues,
+    portability_error,
+)
+from .rules import DEFAULT_RULES, RELEASE_PACKAGES
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULES",
+    "LintError",
+    "LintIssue",
+    "ModuleSource",
+    "PLAN_PARAMS",
+    "PlanIssue",
+    "RELEASE_PACKAGES",
+    "Rule",
+    "StabilityReport",
+    "UnportablePlanError",
+    "check_portability",
+    "check_portable",
+    "format_bounds",
+    "format_issues",
+    "lint_paths",
+    "plan_portability_issues",
+    "portability_error",
+    "stability_bounds",
+    "verify_epsilon",
+    "verify_plan",
+]

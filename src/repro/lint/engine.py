@@ -1,0 +1,246 @@
+"""AST lint engine: module loading, suppression, baselines, reporting.
+
+The engine is deliberately small: a :class:`ModuleSource` parses one file
+and precomputes what every rule needs (AST, parent links, per-line
+suppression comments), a :class:`Rule` yields :class:`LintIssue` objects,
+and :func:`lint_paths` drives the two over a file tree.  Rules themselves
+live in :mod:`repro.lint.rules`.
+
+Suppression: a finding is silenced by a comment on the flagged line —
+``# lint: disable=R004`` (comma-separate several codes, or use ``all``).
+Suppressions are per-line and per-rule so they double as documentation of
+the sanctioned exception.
+
+Baselines: ``repro lint --write-baseline`` records current findings keyed
+by ``(rule, path, stripped source line)`` — not line numbers, so unrelated
+edits don't invalidate the baseline — and ``--baseline FILE`` filters them
+out of later runs, letting a new rule land strict while grandfathering
+known debt.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Baseline",
+    "LintError",
+    "LintIssue",
+    "ModuleSource",
+    "Rule",
+    "format_issues",
+    "iter_python_files",
+    "lint_paths",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class LintError(Exception):
+    """The linter itself could not run (unreadable file, bad baseline)."""
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: a rule violated at a location."""
+
+    rule: str
+    path: str  #: posix path relative to the lint root
+    line: int
+    col: int
+    message: str
+    severity: str = "error"  #: "error" | "warning"
+    text: str = ""  #: stripped source line, used for baseline matching
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.text)
+
+
+class ModuleSource:
+    """One parsed python file plus the per-rule conveniences."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._suppressed: dict[int, set[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                self._suppressed[number] = {
+                    code.strip() for code in match.group(1).split(",") if code.strip()
+                }
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "ModuleSource":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        return cls(path, relpath, text)
+
+    # ------------------------------------------------------------------
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components of the module relative to the lint root."""
+        return tuple(self.relpath.split("/"))
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from a node's parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        codes = self._suppressed.get(line)
+        return bool(codes) and (rule in codes or "all" in codes)
+
+
+class Rule:
+    """Base class for lint rules; subclasses yield issues from ``check``."""
+
+    code: str = "R000"
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[LintIssue]:
+        raise NotImplementedError
+
+    def issue(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> LintIssue:
+        line = getattr(node, "lineno", 1)
+        return LintIssue(
+            rule=self.code,
+            path=module.relpath,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=severity,
+            text=module.source_line(line),
+        )
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, matched by (rule, path, source-line text)."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+            entries = {
+                (entry["rule"], entry["path"], entry["text"]) for entry in raw["issues"]
+            }
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise LintError(f"cannot load baseline {path}: {exc}") from exc
+        return cls(entries)
+
+    def save(self, path: Path, issues: Iterable[LintIssue]) -> None:
+        payload = {
+            "issues": sorted(
+                (
+                    {"rule": rule, "path": rel, "text": text}
+                    for rule, rel, text in {issue.baseline_key() for issue in issues}
+                ),
+                key=lambda entry: (entry["path"], entry["rule"], entry["text"]),
+            )
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def contains(self, issue: LintIssue) -> bool:
+        return issue.baseline_key() in self.entries
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise LintError(f"not a python file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule],
+    root: Path,
+    baseline: Baseline | None = None,
+) -> list[LintIssue]:
+    """Run every rule over every file; returns surviving issues, sorted.
+
+    Per-line suppression comments and baseline entries are applied here so
+    individual rules stay oblivious to both.  A file that fails to parse
+    yields a single ``E001`` issue rather than aborting the run.
+    """
+    rules = list(rules)
+    issues: list[LintIssue] = []
+    for path in iter_python_files(paths):
+        try:
+            module = ModuleSource.load(path, root)
+        except SyntaxError as exc:
+            relpath = path.as_posix()
+            issues.append(
+                LintIssue(
+                    rule="E001",
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            for issue in rule.check(module):
+                if module.suppressed(issue.line, issue.rule):
+                    continue
+                if baseline is not None and baseline.contains(issue):
+                    continue
+                issues.append(issue)
+    issues.sort(key=lambda issue: (issue.path, issue.line, issue.col, issue.rule))
+    return issues
+
+
+def format_issues(issues: Iterable[LintIssue]) -> str:
+    return "\n".join(issue.render() for issue in issues)

@@ -1,0 +1,255 @@
+"""Static stability and sensitivity verification for plan DAGs.
+
+Every transformation in :mod:`repro.core.transformations` is *stable* in the
+sense of Definition 2: unary operators satisfy ``‖T(A) − T(A')‖ ≤ ‖A − A'‖``
+(Select/Where/SelectMany 1-stable by construction, GroupBy by Theorem 5,
+Shave/Distinct 1-Lipschitz per record, DownScale contracting by its factor),
+and binary operators are bounded by the *sum* of their input distances
+(Join by Theorem 4; Union/Intersect/Concat/Except element-wise 1-Lipschitz
+in each argument).  Stability composes (Theorem 1), so a whole plan DAG has
+a static per-source bound computed bottom-up:
+
+* a source leaf is distance 1 from itself,
+* every other node combines its children's bounds — unary nodes pass them
+  through, ``DownScale`` multiplies them by its factor, binary nodes add
+  them element-wise (a source reached through both operands of a self-join
+  counts twice, matching Section 2.3's path-counting multiplicity).
+
+The derived bound is what a measurement's ε must be multiplied by for the
+release to be ``bound·ε``-differentially private with respect to each
+source.  :func:`verify_epsilon` checks the charge actually levied by the
+budget machinery against that requirement: a charge *below* the bound is a
+privacy violation (noise calibrated too low), a charge above it is sound
+but wasteful (possible when ``DownScale`` tightens the bound below the raw
+path count the runtime charges by).
+
+:func:`verify_plan` bundles the bound, the per-node annotations consumed by
+``explain_plan(..., verify=True)``, the ε check, and the shared portability
+analysis (:mod:`repro.lint.portability`) into one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.partition import PartitionPlan
+from ..core.plan import (
+    ConcatPlan,
+    DistinctPlan,
+    DownScalePlan,
+    ExceptPlan,
+    GroupByPlan,
+    IntersectPlan,
+    JoinPlan,
+    Plan,
+    SelectManyPlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+    UnionPlan,
+    WherePlan,
+)
+from ..exceptions import PlanError
+from .portability import plan_portability_issues
+
+__all__ = [
+    "PlanIssue",
+    "StabilityReport",
+    "check_portability",
+    "format_bounds",
+    "node_stability_bounds",
+    "stability_bounds",
+    "verify_epsilon",
+    "verify_plan",
+]
+
+#: Tolerance for comparing charged against required ε (floating point only —
+#: the bounds themselves are exact sums and products of plan constants).
+EPSILON_TOLERANCE = 1e-9
+
+#: Unary nodes that pass their child's bound through unchanged (1-stable).
+_UNIT_UNARY = (
+    SelectPlan,
+    WherePlan,
+    SelectManyPlan,
+    GroupByPlan,
+    ShavePlan,
+    DistinctPlan,
+    PartitionPlan,
+)
+
+#: Binary nodes bounded by the sum of their operands' distances.
+_SUM_BINARY = (JoinPlan, UnionPlan, IntersectPlan, ConcatPlan, ExceptPlan)
+
+
+@dataclass(frozen=True)
+class PlanIssue:
+    """One problem found by the static plan checker."""
+
+    kind: str  #: "epsilon-mismatch" | "epsilon-overcharge" | "unportable"
+    node: str  #: label of the offending plan node (or source name)
+    message: str
+    severity: str = "error"  #: "error" | "warning"
+
+
+@dataclass
+class StabilityReport:
+    """Everything the static checker derives about one plan."""
+
+    #: Per-source stability bound of the root: a measurement at ε is
+    #: ``bounds[s]·ε``-DP with respect to source ``s``.
+    bounds: dict[str, float]
+    #: Per-node bounds keyed by ``id(node)`` (for explain annotations).
+    node_bounds: dict[int, dict[str, float]]
+    issues: list[PlanIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issue was found."""
+        return not any(issue.severity == "error" for issue in self.issues)
+
+
+def node_stability_bounds(plan: Plan) -> dict[int, dict[str, float]]:
+    """Compute the static stability bound of every node in a plan DAG.
+
+    Returns ``id(node) -> {source name -> bound}``; shared sub-plans are
+    computed once.  Raises :class:`~repro.exceptions.PlanError` for a node
+    type without a proven stability constant — an unknown node could amplify
+    distances arbitrarily, so the checker refuses to guess.
+    """
+    bounds: dict[int, dict[str, float]] = {}
+
+    def visit(node: Plan) -> dict[str, float]:
+        key = id(node)
+        cached = bounds.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(node, SourcePlan):
+            bound = {node.name: 1.0}
+        elif isinstance(node, DownScalePlan):
+            child = visit(node.child)
+            bound = {name: value * node.factor for name, value in child.items()}
+        elif isinstance(node, _UNIT_UNARY):
+            bound = dict(visit(node.children[0]))
+        elif isinstance(node, _SUM_BINARY):
+            bound = dict(visit(node.left))
+            for name, value in visit(node.right).items():
+                bound[name] = bound.get(name, 0.0) + value
+        else:
+            raise PlanError(
+                f"no static stability bound is known for plan node "
+                f"{type(node).__name__}"
+            )
+        bounds[key] = bound
+        return bound
+
+    visit(plan)
+    return bounds
+
+
+def stability_bounds(plan: Plan) -> dict[str, float]:
+    """The root's per-source stability bound (see :func:`node_stability_bounds`)."""
+    return node_stability_bounds(plan)[id(plan)]
+
+
+def format_bounds(bounds: dict[str, float]) -> str:
+    """Render ``{"edges": 9.0}`` as ``"edges<=9"`` (sorted, comma-joined)."""
+    return ", ".join(f"{name}<={value:g}" for name, value in sorted(bounds.items()))
+
+
+def verify_epsilon(
+    plan: Plan,
+    epsilon: float,
+    charged: dict[str, float] | None = None,
+    tolerance: float = EPSILON_TOLERANCE,
+) -> list[PlanIssue]:
+    """Check a measurement's per-source charge against the derived bound.
+
+    ``charged`` maps source name to the ε actually levied; when omitted it
+    defaults to what the budget machinery charges — ``multiplicity · ε``
+    per Section 2.3 (see ``execute_batch``).  A charge below ``bound · ε``
+    is reported as an error (the Laplace noise at ε would under-protect the
+    source); a charge above it as a warning (sound, but the ``DownScale``
+    tightening is being left on the table).  Partition-group max-accounting
+    charges are intentionally *not* modelled here — pass the group's
+    ``charged`` mapping explicitly to check those.
+    """
+    bounds = stability_bounds(plan)
+    if charged is None:
+        charged = {
+            name: uses * epsilon
+            for name, uses in plan.source_multiplicities().items()
+        }
+    issues: list[PlanIssue] = []
+    for name, bound in sorted(bounds.items()):
+        required = bound * epsilon
+        actual = charged.get(name, 0.0)
+        if actual < required - tolerance:
+            issues.append(
+                PlanIssue(
+                    kind="epsilon-mismatch",
+                    node=name,
+                    message=(
+                        f"source {name!r} is charged {actual:g} but the plan's "
+                        f"static stability bound requires at least "
+                        f"{bound:g}*eps = {required:g}: the release would be "
+                        f"under-protected"
+                    ),
+                )
+            )
+        elif actual > required + tolerance:
+            issues.append(
+                PlanIssue(
+                    kind="epsilon-overcharge",
+                    node=name,
+                    message=(
+                        f"source {name!r} is charged {actual:g} but the plan's "
+                        f"static stability bound only requires {required:g} "
+                        f"(sound, but over-conservative)"
+                    ),
+                    severity="warning",
+                )
+            )
+    for name in sorted(set(charged) - set(bounds)):
+        issues.append(
+            PlanIssue(
+                kind="epsilon-mismatch",
+                node=name,
+                message=(
+                    f"source {name!r} is charged {charged[name]:g} but does "
+                    f"not appear in the plan"
+                ),
+                severity="warning",
+            )
+        )
+    return issues
+
+
+def check_portability(plan: Plan) -> list[PlanIssue]:
+    """Wrap the shared portability analysis as checker issues."""
+    return [
+        PlanIssue(kind="unportable", node=f"{node} {role}", message=message)
+        for node, role, message in plan_portability_issues(plan)
+    ]
+
+
+def verify_plan(
+    plan: Plan,
+    epsilon: float | None = None,
+    charged: dict[str, float] | None = None,
+) -> StabilityReport:
+    """Run the full static analysis over one plan.
+
+    Always derives the stability bounds and the portability issues; when
+    ``epsilon`` is supplied the charge check of :func:`verify_epsilon` is
+    included as well.
+    """
+    node_bounds = node_stability_bounds(plan)
+    issues = check_portability(plan)
+    if epsilon is not None:
+        issues.extend(verify_epsilon(plan, epsilon, charged))
+    return StabilityReport(
+        bounds=dict(node_bounds[id(plan)]),
+        node_bounds=node_bounds,
+        issues=issues,
+    )

@@ -1,0 +1,148 @@
+"""Shared portability analysis for plan parameters.
+
+A plan parameter is *portable* when it can cross a process boundary intact:
+a structural :class:`~repro.columnar.specs.ColumnarSpec` (pickled by value),
+a module-level function (pickled by reference), or a plain picklable value
+(shave slice weights, caps, factors, source names).  Lambdas, closures and
+bound methods are not — they either fail to pickle outright or drag
+unpicklable state with them.
+
+This module is the single source of truth for that judgement.  The shard
+wire codec (:mod:`repro.shard.plan`) calls :func:`check_portable` at encode
+time; the static plan checker (:mod:`repro.lint.plans`) calls
+:func:`plan_portability_issues` to surface the same findings *before* a plan
+ever reaches a worker.  Both read :data:`PLAN_PARAMS` for the per-node
+parameter lists, so the checker and the codec cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from ..columnar.specs import ColumnarSpec
+from ..core.plan import (
+    ConcatPlan,
+    DistinctPlan,
+    DownScalePlan,
+    ExceptPlan,
+    GroupByPlan,
+    IntersectPlan,
+    JoinPlan,
+    Plan,
+    SelectManyPlan,
+    SelectPlan,
+    ShavePlan,
+    SourcePlan,
+    UnionPlan,
+    WherePlan,
+)
+from ..exceptions import PlanError
+
+__all__ = [
+    "PLAN_PARAMS",
+    "UnportablePlanError",
+    "check_portable",
+    "plan_portability_issues",
+    "portability_error",
+]
+
+
+class UnportablePlanError(PlanError):
+    """A plan parameter cannot cross a process boundary."""
+
+
+#: Plan node type -> the attribute names of its wire parameters, in
+#: constructor order after the children.  The shard codec encodes exactly
+#: these attributes and the static checker validates exactly these
+#: attributes; extending a plan node means extending this table once.
+PLAN_PARAMS: dict[type, tuple[str, ...]] = {
+    SourcePlan: ("name",),
+    SelectPlan: ("mapper",),
+    WherePlan: ("predicate",),
+    SelectManyPlan: ("mapper",),
+    GroupByPlan: ("key", "reducer"),
+    ShavePlan: ("slice_weights",),
+    DistinctPlan: ("cap",),
+    DownScalePlan: ("factor",),
+    JoinPlan: ("left_key", "right_key", "result_selector"),
+    UnionPlan: (),
+    IntersectPlan: (),
+    ConcatPlan: (),
+    ExceptPlan: (),
+}
+
+
+def portability_error(value: Any, node: str, role: str) -> str | None:
+    """Explain why one plan parameter cannot cross the wire, or ``None``.
+
+    Specs are value objects and always portable.  Other callables must
+    round-trip through pickle *by reference* (module-level functions,
+    builtins); a lambda or closure fails here with a named error.
+    Non-callable parameters (shave slice weights, caps, factors) must simply
+    pickle.
+    """
+    if isinstance(value, ColumnarSpec):
+        return None
+    try:
+        pickle.loads(pickle.dumps(value))
+    except Exception:
+        kind = "callable" if callable(value) else "value"
+        return (
+            f"{node} {role} is not portable: the {kind} {value!r} cannot be "
+            f"pickled for a worker process. Use a structural spec from "
+            f"repro.columnar.specs or a module-level function."
+        )
+    return None
+
+
+def check_portable(value: Any, node: str, role: str) -> Any:
+    """Validate one plan parameter for the wire; returns it unchanged.
+
+    Raises :class:`UnportablePlanError` with the offending node and role
+    named — the error the shard codec surfaces at encode time instead of a
+    cryptic pickling failure inside a worker.
+    """
+    message = portability_error(value, node, role)
+    if message is not None:
+        raise UnportablePlanError(message)
+    return value
+
+
+def plan_portability_issues(plan: Plan) -> list[tuple[str, str, str]]:
+    """Collect every portability problem in a plan DAG.
+
+    Returns ``(node label, parameter role, message)`` triples in first-visit
+    order, one per offending parameter.  Unlike :func:`check_portable` this
+    does not stop at the first failure — the static checker reports them
+    all.  Shared sub-plans are visited once (plan identity), matching the
+    codec's flattening.  A node type outside :data:`PLAN_PARAMS` (for
+    example a :class:`~repro.core.partition.PartitionPlan`, whose closure
+    predicate never ships to workers) is itself reported as unportable.
+    """
+    issues: list[tuple[str, str, str]] = []
+    seen: set[int] = set()
+
+    def visit(node: Plan) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children:
+            visit(child)
+        attributes = PLAN_PARAMS.get(type(node))
+        if attributes is None:
+            issues.append(
+                (
+                    node._label(),
+                    "node",
+                    f"plan node {type(node).__name__} has no portable encoding",
+                )
+            )
+            return
+        for attribute in attributes:
+            message = portability_error(getattr(node, attribute), node._label(), attribute)
+            if message is not None:
+                issues.append((node._label(), attribute, message))
+
+    visit(plan)
+    return issues

@@ -40,9 +40,8 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-from typing import Any, Callable
+from typing import Any
 
-from ..columnar.specs import ColumnarSpec
 from ..core.aggregation import NoisyCountResult
 from ..core.plan import (
     ConcatPlan,
@@ -60,7 +59,16 @@ from ..core.plan import (
     UnionPlan,
     WherePlan,
 )
-from ..exceptions import PlanError
+
+# The portability judgement (what may cross a process boundary, and the
+# per-node parameter lists) lives in repro.lint.portability so the static
+# plan checker and this runtime codec can never disagree.
+# UnportablePlanError is re-exported here for compatibility.
+from ..lint.portability import (
+    PLAN_PARAMS,
+    UnportablePlanError,
+    check_portable as _check_portable,
+)
 
 __all__ = [
     "UnportablePlanError",
@@ -71,33 +79,6 @@ __all__ = [
     "encode_measurement",
     "decode_measurement",
 ]
-
-
-class UnportablePlanError(PlanError):
-    """A plan parameter cannot cross a process boundary."""
-
-
-def _check_portable(value: Any, node: str, role: str) -> Any:
-    """Validate one plan parameter for the wire; returns it unchanged.
-
-    Specs are value objects and always portable.  Other callables must
-    round-trip through pickle *by reference* (module-level functions,
-    builtins); a lambda or closure fails here with a named error.
-    Non-callable parameters (shave slice weights, caps, factors) must simply
-    pickle.
-    """
-    if isinstance(value, ColumnarSpec):
-        return value
-    try:
-        pickle.loads(pickle.dumps(value))
-    except Exception as exc:
-        kind = "callable" if callable(value) else "value"
-        raise UnportablePlanError(
-            f"{node} {role} is not portable: the {kind} {value!r} cannot be "
-            f"pickled for a worker process. Use a structural spec from "
-            f"repro.columnar.specs or a module-level function."
-        ) from exc
-    return value
 
 
 class PortablePlan:
@@ -137,23 +118,24 @@ class PortablePlan:
         return f"PortablePlan(nodes={len(self.nodes)}, root={self.nodes[-1][0]})"
 
 
-#: kind -> (plan type, parameter attribute names, which params are callables)
-_NODE_KINDS: dict[str, tuple[type, tuple[str, ...]]] = {
-    "source": (SourcePlan, ("name",)),
-    "select": (SelectPlan, ("mapper",)),
-    "where": (WherePlan, ("predicate",)),
-    "select_many": (SelectManyPlan, ("mapper",)),
-    "group_by": (GroupByPlan, ("key", "reducer")),
-    "shave": (ShavePlan, ("slice_weights",)),
-    "distinct": (DistinctPlan, ("cap",)),
-    "down_scale": (DownScalePlan, ("factor",)),
-    "join": (JoinPlan, ("left_key", "right_key", "result_selector")),
-    "union": (UnionPlan, ()),
-    "intersect": (IntersectPlan, ()),
-    "concat": (ConcatPlan, ()),
-    "except": (ExceptPlan, ()),
+#: kind -> plan type; parameter attribute names come from the shared
+#: PLAN_PARAMS table, the same one the static checker validates against.
+_NODE_KINDS: dict[str, type] = {
+    "source": SourcePlan,
+    "select": SelectPlan,
+    "where": WherePlan,
+    "select_many": SelectManyPlan,
+    "group_by": GroupByPlan,
+    "shave": ShavePlan,
+    "distinct": DistinctPlan,
+    "down_scale": DownScalePlan,
+    "join": JoinPlan,
+    "union": UnionPlan,
+    "intersect": IntersectPlan,
+    "concat": ConcatPlan,
+    "except": ExceptPlan,
 }
-_KIND_BY_TYPE = {plan_type: kind for kind, (plan_type, _) in _NODE_KINDS.items()}
+_KIND_BY_TYPE = {plan_type: kind for kind, plan_type in _NODE_KINDS.items()}
 
 
 def encode_plan(plan: Plan) -> PortablePlan:
@@ -171,7 +153,7 @@ def encode_plan(plan: Plan) -> PortablePlan:
                 f"plan node {type(node).__name__} has no portable encoding"
             )
         children = tuple(visit(child) for child in node.children)
-        _, attributes = _NODE_KINDS[kind]
+        attributes = PLAN_PARAMS[type(node)]
         params = tuple(
             _check_portable(getattr(node, attribute), node._label(), attribute)
             for attribute in attributes
@@ -188,7 +170,7 @@ def decode_plan(portable: PortablePlan) -> Plan:
     """Rebuild an identity-shared plan DAG from its portable form."""
     built: list[Plan] = []
     for kind, params, children in portable.nodes:
-        plan_type, _ = _NODE_KINDS[kind]
+        plan_type = _NODE_KINDS[kind]
         built.append(plan_type(*(built[child] for child in children), *params))
     return built[-1]
 

@@ -1,0 +1,14 @@
+"""R005 fixture: lambdas handed to plan builders (anywhere, not just release)."""
+
+
+def lambda_queries(edges, SelectPlan):
+    doubled = edges.select(lambda edge: (edge[1], edge[0]))  # VIOLATION
+    filtered = edges.where(lambda edge: edge[0] != edge[1])  # VIOLATION
+    joined = edges.join(
+        doubled,
+        left_key=lambda edge: edge[0],  # VIOLATION
+        right_key=lambda edge: edge[1],  # VIOLATION
+        result_selector=lambda left, right: (left, right),  # VIOLATION
+    )
+    direct = SelectPlan(filtered, lambda edge: edge)  # VIOLATION: constructor
+    return joined, direct

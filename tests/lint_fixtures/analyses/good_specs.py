@@ -1,0 +1,21 @@
+"""R005 clean twin: structural specs and module-level record functions."""
+
+
+def _reverse_edge(edge):
+    return (edge[1], edge[0])
+
+
+def _not_self_loop(edge):
+    return edge[0] != edge[1]
+
+
+def spec_queries(edges, Field, FieldsDiffer):
+    reversed_edges = edges.select(_reverse_edge)
+    proper = edges.where(_not_self_loop)
+    joined = proper.join(
+        reversed_edges,
+        left_key=Field(0),
+        right_key=Field(1),
+        result_selector=_reverse_edge,
+    )
+    return joined.where(FieldsDiffer(0, 1))

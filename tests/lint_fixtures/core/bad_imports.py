@@ -1,0 +1,12 @@
+"""R006 fixture: imports that nothing uses."""
+
+import json  # VIOLATION: unused
+import os.path  # VIOLATION: unused (binds ``os``)
+from collections import OrderedDict  # VIOLATION: unused
+from typing import Any as AnyAlias  # VIOLATION: unused alias
+
+import sys
+
+
+def only_sys():
+    return sys.platform

@@ -1,0 +1,22 @@
+"""R001 fixture: every unseeded-RNG shape the rule must catch."""
+
+import random
+
+import numpy
+import numpy.random
+from numpy.random import default_rng
+
+
+def draw_noise():
+    generator = default_rng()  # VIOLATION: unseeded default_rng
+    explicit_none = numpy.random.default_rng(None)  # VIOLATION: seed=None
+    keyword_none = default_rng(seed=None)  # VIOLATION: seed=None keyword
+    return generator, explicit_none, keyword_none
+
+
+def global_state():
+    value = random.random()  # VIOLATION: process-global random state
+    pick = random.choice([1, 2, 3])  # VIOLATION: process-global random state
+    legacy = numpy.random.laplace(0.0, 1.0)  # VIOLATION: legacy numpy global
+    unseeded_rng = random.Random()  # VIOLATION: unseeded Random()
+    return value, pick, legacy, unseeded_rng

@@ -1,0 +1,18 @@
+"""R004 fixture: protected weights reaching print/log/f-strings."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def leak_by_print(record, weight):
+    print("record weight is", weight)  # VIOLATION: weight to print
+
+
+def leak_by_log(entry):
+    logger.info("charging %s", entry.weight)  # VIOLATION: weight to a logger
+
+
+def leak_by_fstring(weights):
+    message = f"first weight: {weights[0]}"  # VIOLATION: f-string interpolation
+    raise ValueError(message)

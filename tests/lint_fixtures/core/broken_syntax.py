@@ -1,0 +1,4 @@
+"""E001 fixture: not valid python."""
+
+def unfinished(:
+    return

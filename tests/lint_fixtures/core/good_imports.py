@@ -1,0 +1,21 @@
+"""R006 clean twin: every import is used, re-exported or annotation-only."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import sys
+from collections import OrderedDict
+
+if TYPE_CHECKING:
+    from decimal import Decimal
+
+__all__ = ["OrderedDict", "platform_name", "quoted_annotation"]
+
+
+def platform_name() -> str:
+    return sys.platform
+
+
+def quoted_annotation(value: "Decimal | None") -> "Decimal | None":
+    return value

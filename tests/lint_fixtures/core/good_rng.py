@@ -1,0 +1,20 @@
+"""R001 clean twin: seeded generators and lookalike locals are all fine."""
+
+import random as stdlib_random
+
+import numpy
+from numpy.random import PCG64, SeedSequence, default_rng
+
+
+def seeded_draws(seed: int):
+    generator = default_rng(seed)
+    pcg = numpy.random.Generator(PCG64(seed))
+    sequence = SeedSequence(seed)
+    seeded = stdlib_random.Random(seed)
+    return generator, pcg, sequence, seeded
+
+
+def lookalike_local():
+    # A local variable named ``random`` is not the stdlib module.
+    random = {"random": lambda: 0.5}
+    return random["random"]()

@@ -1,0 +1,13 @@
+"""R004 clean twin: aggregates, sanctioned suppressions, non-release talk."""
+
+
+def safe_messages(records, total_weight):
+    # Counts and record totals that never name a weight are fine.
+    print("records:", len(records))
+    # Sanctioned debug affordance, documented by the suppression comment.
+    print("debug total:", total_weight)  # lint: disable=R004
+
+
+def weight_math(weight, factor):
+    # Using weights in computation (not output) is the whole point.
+    return weight * factor

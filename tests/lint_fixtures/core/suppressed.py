@@ -1,0 +1,12 @@
+"""Suppression fixture: real violations silenced by disable comments."""
+
+from numpy.random import default_rng
+
+
+def sanctioned():
+    scratch = default_rng()  # lint: disable=R001
+    return scratch
+
+
+def sanctioned_all(weight):
+    print("weight:", weight)  # lint: disable=all

@@ -1,0 +1,22 @@
+"""R003 fixture: the check-then-act budget race (pre-PR-4 shape)."""
+
+
+def racy_measure(budget, epsilon):
+    if budget.can_afford(epsilon):  # VIOLATION: check outside the lock
+        budget.charge(epsilon)
+        return True
+    return False
+
+
+def racy_remaining(budget, epsilon):
+    if budget.remaining >= epsilon:  # VIOLATION: check outside the lock
+        budget.charge(epsilon)
+        return True
+    return False
+
+
+def racy_spent(state, epsilon, limit):
+    if state.spent + epsilon <= limit:  # VIOLATION: check outside the lock
+        state.spent += epsilon
+        return True
+    return False

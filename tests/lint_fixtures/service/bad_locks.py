@@ -1,0 +1,21 @@
+"""R002 fixture: ad-hoc multi-lock acquisition patterns."""
+
+from contextlib import ExitStack
+
+
+def multi_item_with(first_lock, second_lock):
+    with first_lock, second_lock:  # VIOLATION: two locks in one with
+        return True
+
+
+def nested_withs(budget_lock, ledger_lock):
+    with budget_lock:
+        with ledger_lock:  # VIOLATION: nested lock while one is held
+            return True
+
+
+def unsorted_loop(locks):
+    with ExitStack() as stack:
+        for name_lock in locks.values():
+            stack.enter_context(name_lock)  # VIOLATION: unsorted iteration
+        return True

@@ -1,0 +1,29 @@
+"""R003 clean twin: check and charge under one held lock."""
+
+from contextlib import ExitStack
+
+
+def locked_measure(budget, epsilon):
+    with budget.lock:
+        if budget.can_afford(epsilon):
+            budget.charge(epsilon)
+            return True
+    return False
+
+
+def exitstack_measure(budgets, epsilon):
+    with ExitStack() as stack:
+        for name in sorted(budgets):
+            stack.enter_context(budgets[name].lock)
+        if all(budget.can_afford(epsilon) for budget in budgets.values()):
+            for budget in budgets.values():
+                budget.charge(epsilon)
+            return True
+    return False
+
+
+def check_without_charge(budget, epsilon):
+    # Reading state alone (no charge in this function) is not a race.
+    if budget.can_afford(epsilon):
+        return True
+    return False

@@ -1,0 +1,23 @@
+"""R002 clean twin: the BudgetLedger.charge acquisition discipline."""
+
+from contextlib import ExitStack
+
+
+def sorted_acquisition(locks):
+    with ExitStack() as stack:
+        for name in sorted(locks):
+            stack.enter_context(locks[name])
+        return True
+
+
+def single_lock(budget_lock):
+    with budget_lock:
+        return True
+
+
+def sequential_not_nested(budget_lock, ledger_lock):
+    with budget_lock:
+        first = True
+    with ledger_lock:
+        second = True
+    return first and second

@@ -1,0 +1,98 @@
+"""End-to-end tests for ``repro lint`` and ``repro explain --verify``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_lint_default_target_is_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_strict_is_clean_too(capsys):
+    assert main(["lint", "--strict"]) == 0
+
+
+def test_lint_bad_file_fails_with_findings(capsys):
+    assert main(["lint", str(FIXTURES / "core" / "bad_imports.py")]) == 1
+    out = capsys.readouterr().out
+    assert "R006" in out
+    assert "bad_imports.py" in out
+
+
+def test_lint_file_inside_repro_keeps_release_gating(tmp_path, capsys):
+    # A single-file target inside the installed package is linted with the
+    # package-relative path, so the release-only rules still apply.
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    assert main(["lint", str(package / "core" / "laplace.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_directory_target(capsys):
+    assert main(["lint", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    # Findings from several packages, deterministically ordered.
+    for rule in ("R001", "R002", "R003", "R004", "R005", "R006", "E001"):
+        assert rule in out
+
+
+def test_lint_missing_path_is_a_usage_error(capsys):
+    assert main(["lint", str(FIXTURES / "does_not_exist.py")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_lint_plans_verifies_named_queries(capsys):
+    assert main(["lint", "--plans"]) == 0
+    out = capsys.readouterr().out
+    assert "plan tbd" in out
+    assert "edges<=9" in out
+    assert "plan sbd" in out
+    assert "edges<=12" in out
+    assert "FAIL" not in out
+
+
+def test_lint_baseline_roundtrip(tmp_path, capsys):
+    target = str(FIXTURES / "core" / "bad_imports.py")
+    baseline = tmp_path / "baseline.json"
+
+    assert main(["lint", target, "--baseline", str(baseline), "--write-baseline"]) == 0
+    recorded = json.loads(baseline.read_text(encoding="utf-8"))
+    assert {entry["rule"] for entry in recorded["issues"]} == {"R006"}
+
+    capsys.readouterr()
+    assert main(["lint", target, "--baseline", str(baseline)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_missing_baseline_is_a_usage_error(tmp_path, capsys):
+    target = str(FIXTURES / "core" / "bad_imports.py")
+    code = main(["lint", target, "--baseline", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_write_baseline_requires_baseline_path(capsys):
+    assert main(["lint", "--write-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_explain_verify_prints_static_verification(capsys):
+    assert main(["explain", "tbd", "--verify", "--epsilon", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "static verification:" in out
+    assert "stability bound: edges<=9" in out
+    assert "portability: OK" in out
+
+
+def test_explain_without_verify_is_unchanged(capsys):
+    assert main(["explain", "tbd", "--epsilon", "0.1"]) == 0
+    assert "static verification:" not in capsys.readouterr().out

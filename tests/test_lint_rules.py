@@ -1,0 +1,154 @@
+"""Fixture-driven tests for the AST lint rules (R001–R006).
+
+Every rule has a fixture with *known* violations and a known-clean twin;
+the assertions pin the exact rule codes and counts, so a rule that stops
+firing (a false negative) or starts over-firing (a false positive) fails
+here before it reaches CI's repo-wide ``repro lint --strict`` run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, DEFAULT_RULES, LintError, format_issues, lint_paths
+from repro.lint.engine import iter_python_files
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def run_lint(relative: str, baseline=None):
+    return lint_paths(
+        [FIXTURES / relative], DEFAULT_RULES, root=FIXTURES, baseline=baseline
+    )
+
+
+def rule_counts(relative: str) -> Counter:
+    return Counter(issue.rule for issue in run_lint(relative))
+
+
+# ---------------------------------------------------------------------------
+# one bad fixture + one clean twin per rule — zero false negatives, zero
+# false positives
+# ---------------------------------------------------------------------------
+
+BAD_FIXTURES = [
+    ("core/bad_rng.py", "R001", 7),
+    ("service/bad_locks.py", "R002", 3),
+    ("service/bad_budget.py", "R003", 3),
+    ("core/bad_weight_leak.py", "R004", 3),
+    ("analyses/bad_lambda.py", "R005", 6),
+    ("core/bad_imports.py", "R006", 4),
+]
+
+CLEAN_FIXTURES = [
+    "core/good_rng.py",
+    "service/good_locks.py",
+    "service/good_budget.py",
+    "core/good_weight_leak.py",
+    "analyses/good_specs.py",
+    "core/good_imports.py",
+]
+
+
+@pytest.mark.parametrize("relative, rule, count", BAD_FIXTURES)
+def test_bad_fixture_caught(relative, rule, count):
+    counts = rule_counts(relative)
+    assert counts[rule] == count, format_issues(run_lint(relative))
+    # The fixture is single-purpose: no *other* rule may fire on it.
+    assert set(counts) == {rule}
+
+
+@pytest.mark.parametrize("relative", CLEAN_FIXTURES)
+def test_clean_twin_is_clean(relative):
+    assert run_lint(relative) == [], format_issues(run_lint(relative))
+
+
+# ---------------------------------------------------------------------------
+# release-package gating: R001/R004 fire only inside release packages
+# ---------------------------------------------------------------------------
+
+
+def test_release_rules_gated_by_package(tmp_path):
+    text = (FIXTURES / "core" / "bad_rng.py").read_text(encoding="utf-8")
+    outside = tmp_path / "experiments"
+    outside.mkdir()
+    (outside / "scratch.py").write_text(text, encoding="utf-8")
+    assert lint_paths([outside], DEFAULT_RULES, root=tmp_path) == []
+    inside = tmp_path / "persistence"
+    inside.mkdir()
+    (inside / "scratch.py").write_text(text, encoding="utf-8")
+    issues = lint_paths([inside], DEFAULT_RULES, root=tmp_path)
+    assert {issue.rule for issue in issues} == {"R001"}
+
+
+# ---------------------------------------------------------------------------
+# suppression comments, baselines, syntax errors, file discovery
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_comments_silence_findings():
+    assert run_lint("core/suppressed.py") == []
+
+
+def test_suppression_is_per_line(tmp_path):
+    package = tmp_path / "core"
+    package.mkdir()
+    source = package / "module.py"
+    source.write_text(
+        "from numpy.random import default_rng\n"
+        "first = default_rng()  # lint: disable=R001\n"
+        "second = default_rng()\n",
+        encoding="utf-8",
+    )
+    issues = lint_paths([package], DEFAULT_RULES, root=tmp_path)
+    assert [issue.line for issue in issues] == [3]
+
+
+def test_syntax_error_is_a_finding_not_a_crash():
+    issues = run_lint("core/broken_syntax.py")
+    assert [issue.rule for issue in issues] == ["E001"]
+    assert "syntax error" in issues[0].message
+
+
+def test_baseline_roundtrip_filters_known_issues(tmp_path):
+    issues = run_lint("core/bad_rng.py")
+    assert issues
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(baseline_path, issues)
+    baseline = Baseline.load(baseline_path)
+    assert run_lint("core/bad_rng.py", baseline=baseline) == []
+    # Baselines match on source text, not line numbers: other files with
+    # different violations are still reported.
+    assert run_lint("core/bad_imports.py", baseline=baseline) != []
+
+
+def test_baseline_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(LintError):
+        Baseline.load(bad)
+
+
+def test_iter_python_files_rejects_non_python(tmp_path):
+    with pytest.raises(LintError):
+        list(iter_python_files([FIXTURES / "README.md"]))
+
+
+def test_full_fixture_tree_totals():
+    issues = lint_paths([FIXTURES], DEFAULT_RULES, root=FIXTURES)
+    counts = Counter(issue.rule for issue in issues)
+    assert counts == {
+        "R001": 7,
+        "R002": 3,
+        "R003": 3,
+        "R004": 3,
+        "R005": 6,
+        "R006": 4,
+        "E001": 1,
+    }
+    # Deterministic ordering: path, then line, then column.
+    keys = [(issue.path, issue.line, issue.col) for issue in issues]
+    assert keys == sorted(keys)

@@ -38,6 +38,13 @@ measurements")::
 
     python -m repro serve --port 8080 --serve-workers 8
     python -m repro serve --ledger ledger.db --workers 4 --rate 50
+    python -m repro serve --ledger ledger.db --deadline-ms 2000 --breaker-threshold 5
+
+and the randomized chaos harness (see README "Failure model & degraded
+modes")::
+
+    python -m repro chaos --seed 1234 --steps 50
+    python -m repro chaos --seed 1234 --steps 50 --workers 2   # kill-cycles
 """
 
 from __future__ import annotations
@@ -565,6 +572,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "rate_limit": args.rate,
                 "rate_burst": args.burst,
                 "max_total_pending": args.max_total_pending,
+                "deadline_ms": args.deadline_ms,
+                "breaker_threshold": args.breaker_threshold,
             },
             verbose=args.verbose,
         )
@@ -583,6 +592,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         rate_limit=args.rate,
         rate_burst=args.burst,
         max_total_pending=args.max_total_pending,
+        deadline_ms=args.deadline_ms,
+        breaker_threshold=args.breaker_threshold,
     )
     durable = f", ledger={args.ledger}" if args.ledger else ""
     print(
@@ -613,6 +624,28 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """Run the randomized fault-injection harness (``repro chaos``).
+
+    ``--steps N`` randomized fault schedules against a durable service;
+    ``--workers 2`` (or more) switches to real ``repro serve`` subprocesses
+    with SIGKILL cycles between restarts.  Exits non-zero when any of the
+    four resilience invariants is violated (see README "Failure model &
+    degraded modes").
+    """
+    from .resilience.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed if args.seed is not None else 0,
+        steps=int(args.steps) if args.steps is not None else 50,
+        workers=args.workers,
+        executor=args.executor,
+        verbose=args.verbose,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -622,13 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["list", "all", "explain", "lint", "bench", "synth", "serve"],
+        + ["list", "all", "explain", "lint", "bench", "synth", "serve", "chaos"],
         help=(
             "which experiment to run ('list' to enumerate, 'all' for "
             "everything, 'explain' to print a query plan, 'lint' to run the "
             "privacy-invariant static analyzer, 'bench' to compare "
             "the execution backends, 'synth' to run MCMC graph synthesis, "
-            "'serve' to run the HTTP measurement service)"
+            "'serve' to run the HTTP measurement service, 'chaos' to run "
+            "the randomized fault-injection harness)"
         ),
     )
     parser.add_argument(
@@ -641,15 +675,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--scale", type=float, default=None, help="graph-size multiplier")
-    parser.add_argument("--steps", type=float, default=None, help="MCMC step multiplier")
+    parser.add_argument(
+        "--steps",
+        type=float,
+        default=None,
+        help="MCMC step multiplier; for 'chaos': number of steps (default 50)",
+    )
     parser.add_argument("--epsilon", type=float, default=None, help="privacy parameter")
     parser.add_argument("--pow", dest="pow_", type=float, default=None, help="MCMC score sharpening")
     parser.add_argument("--seed", type=int, default=None, help="base random seed")
     parser.add_argument(
         "--executor",
         default="eager",
-        choices=["eager", "eager-warm", "dataflow", "vectorized", "auto"],
-        help="backend annotated by 'explain' (auto routes by input size)",
+        choices=["eager", "eager-warm", "dataflow", "vectorized", "auto", "sharded"],
+        help=(
+            "backend annotated by 'explain' (auto routes by input size); "
+            "also the in-process session backend for 'chaos'"
+        ),
     )
     parser.add_argument(
         "--rows",
@@ -806,6 +848,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="for 'serve': global pending bound across sessions (load shedding)",
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "for 'serve': default end-to-end deadline (milliseconds) applied "
+            "to measurements without an X-Repro-Deadline-Ms header; expired "
+            "deadlines are refused before any budget is charged"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help=(
+            "for 'serve': consecutive durable-ledger failures before the "
+            "circuit breaker opens and measurements fail fast with 503"
+        ),
+    )
     return parser
 
 
@@ -847,6 +908,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_synth(args, _configure(args))
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "chaos":
+        return _run_chaos(args)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -45,6 +45,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import PlanError
+from ..resilience.deadline import check_deadline
 from .aggregation import NoisyCountResult, noisy_sum
 from .budget import BudgetLedger
 from .dataset import WeightedDataset
@@ -203,6 +204,10 @@ class PrivacySession:
                     # raises its descriptive PlanError.
                     pass
         with self._measure_lock:
+            # Last budget-safe deadline gate: past this point the batch is
+            # charged atomically and always runs to release, so an expired
+            # deadline must refuse *here* — consuming no ε — or not at all.
+            check_deadline("measurement admission (pre-charge)")
             return execute_batch(self, requests)
 
     # ------------------------------------------------------------------

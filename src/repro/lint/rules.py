@@ -50,7 +50,9 @@ __all__ = [
 
 #: Packages whose code runs in the release path of a measurement — the
 #: rules with privacy consequences (R001, R004) apply only there.
-RELEASE_PACKAGES = frozenset({"core", "columnar", "service", "persistence", "shard"})
+RELEASE_PACKAGES = frozenset(
+    {"core", "columnar", "service", "persistence", "shard", "resilience"}
+)
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 

@@ -27,8 +27,14 @@ import time
 from typing import Callable
 
 from ..exceptions import RateLimitedError, ServiceOverloadedError
+from ..resilience.policy import seeded_jitter
 
 __all__ = ["LoadShedder", "RateLimiter", "TokenBucket"]
+
+#: Fractional spread applied to retry_after hints: each refusal's hint is
+#: scaled by a deterministic factor in [1, 1 + _JITTER), so clients refused
+#: in the same instant don't all come back in the same instant.
+_JITTER = 0.25
 
 
 class TokenBucket:
@@ -70,12 +76,14 @@ class RateLimiter:
         rate: float,
         burst: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        seed: int = 0,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.rate = float(rate)
         self.burst = float(burst) if burst is not None else max(1.0, 2.0 * rate)
         self._clock = clock
+        self._seed = int(seed)
         self._lock = threading.Lock()
         self._buckets: dict[str, TokenBucket] = {}
         self._admitted = 0
@@ -91,6 +99,13 @@ class RateLimiter:
             retry_after = bucket.try_acquire()
             if retry_after > 0.0:
                 self._limited += 1
+                # Deterministic per-refusal jitter: a burst of clients all
+                # refused at once would otherwise share one retry_after and
+                # stampede back together.  Keyed on (session, refusal count)
+                # so a replay with the same seed reproduces the same hints.
+                retry_after *= 1.0 + _JITTER * seeded_jitter(
+                    self._seed, session, self._limited
+                )
                 raise RateLimitedError(
                     f"session {session!r} exceeded its rate limit of "
                     f"{self.rate:g} requests/s (burst {self.burst:g}); retry "

@@ -60,6 +60,7 @@ import uuid
 from typing import Any, Callable, Iterator
 
 from ..exceptions import BudgetExceededError, InvalidEpsilonError
+from ..resilience.faults import inject
 from .snapshot import LedgerState, replay, state_from_json, state_to_json
 
 __all__ = ["LedgerStore", "decode_record", "encode_record"]
@@ -274,6 +275,9 @@ class LedgerStore:
 
             if self.fault_after_intent is not None:
                 self.fault_after_intent()
+            # Crash window the recovery protocol exists for: durable intents,
+            # no resolution row yet.  Replay drops them.
+            inject("wal.intent_commit")
 
             # Step 2: affordability against the durable state, then the
             # commit record — one write transaction, so the check and the
@@ -295,7 +299,9 @@ class LedgerStore:
                 self._conn.execute(
                     "INSERT INTO wal (txn, kind) VALUES (?, ?)", (txn, kind)
                 )
+                inject("wal.pre_commit")
                 self._conn.execute("COMMIT")
+                inject("wal.post_commit")
             except BaseException:
                 self._rollback()
                 raise

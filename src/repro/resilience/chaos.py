@@ -1,0 +1,683 @@
+"""Randomized chaos harness for the serve/shard/persistence stack.
+
+``run_chaos`` drives a durable measurement service through many steps, each
+under a *different* randomized (but seed-deterministic) fault schedule, and
+checks the four resilience invariants after every run:
+
+1. **No lost or phantom ε** — after the final ledger replay, the durable
+   spend of every protected source lies in
+   ``[Σ acknowledged charges, Σ acknowledged + Σ failed-attempt charges]``:
+   every answer the client acknowledged is durably paid for, and no failed
+   attempt can have charged more than once.
+2. **No orphaned shared memory** — the set of ``/dev/shm`` segments after
+   shutdown equals the set before the run started.
+3. **No stuck scheduler or pool** — every operation completes (successfully
+   or with an error) within a liveness bound.
+4. **Bit-identical replay** — after reopening the ledger, every acknowledged
+   ``(query, ε)`` measurement replays the exact released values from the
+   answer cache with ``charged == False`` and zero additional spend.
+
+Two modes:
+
+* **in-process** (``workers <= 1``): a :class:`MeasurementService` is driven
+  directly, one fresh random :class:`~repro.resilience.faults.FaultPlan` per
+  step (``fail``/``delay`` only — never ``kill``, which would take the test
+  process with it, and never ``fail`` on ``shm.unlink``, which orphans a
+  segment *by construction*).
+* **subprocess kill-cycles** (``workers >= 2``): ``repro serve --workers N
+  --ledger`` is spawned with a randomized ``REPRO_FAULTS`` schedule that may
+  include ``kill`` actions inside the WAL charge window; the driver measures
+  over HTTP, SIGKILLs the whole process group between cycles, restarts on
+  the same ledger, and verifies the same invariants at the end.
+
+Shell entry point: ``python -m repro chaos --seed 1234 --steps 50``
+(non-zero exit status when any invariant is violated).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import ChaosInvariantError, ReproError
+from .deadline import Deadline
+from .faults import ENV_VAR, FaultPlan, FaultRule, active_plan
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+#: Queries driven by the harness (all hosted by default on edge sessions);
+#: kept to the cheap ones so a 50-step run stays fast.
+_QUERIES = ("node-count", "degree-ccdf", "wedges")
+_EPSILONS = (0.05, 0.1, 0.2)
+
+#: Error codes that are raised *before* admission ever reaches the budget
+#: ledger — they cannot possibly have charged, so they add no accounting
+#: slack to the phantom-ε upper bound.
+_NO_CHARGE_CODES = {
+    "circuit_open",
+    "rate_limited",
+    "overloaded",
+    "deadline_exceeded",
+    "invalid_epsilon",
+    "invalid_plan",
+    "service_error",
+    "session_exists",
+}
+
+#: Fault points an in-process schedule may draw from, with the actions that
+#: are safe there.  ``kill`` is reserved for subprocess mode (an in-process
+#: SIGKILL takes the harness with it) and ``shm.unlink`` only gets ``delay``
+#: (a ``fail`` there leaks the segment by construction — that scenario is
+#: covered deterministically by the unit tests instead).
+_INPROCESS_POINTS = {
+    "wal.intent_commit": ("fail", "delay"),
+    "wal.pre_commit": ("fail", "delay"),
+    "wal.post_commit": ("fail", "delay"),
+    "pool.dispatch": ("fail", "delay"),
+    "pool.heartbeat": ("fail",),
+    "pool.worker": ("fail", "delay"),
+    "shm.attach": ("fail",),
+    "shm.unlink": ("delay",),
+}
+
+#: Per-operation liveness bound (invariant 3): generous enough for a cold
+#: sharded pool boot under injected delays, far below a real deadlock.
+_LIVENESS_TIMEOUT = 60.0
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: counters plus any invariant violations."""
+
+    seed: int
+    steps: int
+    mode: str
+    ops: int = 0
+    acked: int = 0
+    failed: int = 0
+    refused: int = 0
+    cached_hits: int = 0
+    restarts: int = 0
+    violations: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`ChaosInvariantError` when any invariant failed."""
+        if self.violations:
+            raise ChaosInvariantError(self.summary())
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos {self.mode}: seed={self.seed} steps={self.steps} "
+            f"ops={self.ops} acked={self.acked} failed={self.failed} "
+            f"refused={self.refused} cached={self.cached_hits} "
+            f"restarts={self.restarts}"
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        if self.violations:
+            lines.append(f"INVARIANT VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"  - {violation}" for violation in self.violations)
+        else:
+            lines.append(
+                "all invariants held: ledger bounds, shm cleanliness, "
+                "liveness, bit-identical replay"
+            )
+        return "\n".join(lines)
+
+
+def _shm_segments() -> set[str]:
+    """Names of the POSIX shared-memory segments currently alive."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _random_plan(rng: random.Random, plan_seed: int) -> FaultPlan:
+    """One randomized in-process fault schedule (fail/delay only)."""
+    rules = []
+    for point, actions in _INPROCESS_POINTS.items():
+        if not actions or rng.random() < 0.55:
+            continue
+        action = rng.choice(actions)
+        value = rng.uniform(0.001, 0.02) if action == "delay" else 0.0
+        rules.append(
+            FaultRule(
+                point=point,
+                action=action,
+                value=value,
+                after=rng.randint(1, 2),
+                every=rng.randint(1, 3),
+                limit=rng.randint(1, 4),
+            )
+        )
+    return FaultPlan(seed=plan_seed, rules=rules)
+
+
+def _chaos_edges(nodes: int = 40) -> list[tuple[int, int]]:
+    """A small fixed ring-with-chords graph: enough structure to exercise
+    every default query, small enough that 50 steps stay quick."""
+    edges = [(index, (index + 1) % nodes) for index in range(nodes)]
+    edges.extend((index, (index + 2) % nodes) for index in range(nodes))
+    return edges
+
+
+class _Accounting:
+    """Tracks the ε-accounting bounds and acknowledged answers of a run."""
+
+    def __init__(self, unit_costs: dict[str, dict[str, float]]) -> None:
+        self._unit_costs = unit_costs
+        self.charged_lower: dict[str, float] = {}
+        self.failed_slack: dict[str, float] = {}
+        self.answers: dict[tuple[str, float], list] = {}
+
+    def _add(self, bucket: dict[str, float], query: str, epsilon: float) -> None:
+        for source, unit in self._unit_costs[query].items():
+            bucket[source] = bucket.get(source, 0.0) + unit * epsilon
+
+    def record_ack(self, query: str, epsilon: float, charged: bool) -> None:
+        if charged:
+            self._add(self.charged_lower, query, epsilon)
+
+    def record_failure(self, query: str, epsilon: float) -> None:
+        """A failed (or unknown-outcome) attempt: at most one durable charge."""
+        self._add(self.failed_slack, query, epsilon)
+
+    def check_bounds(
+        self, spent: dict[str, float], report: ChaosReport, where: str
+    ) -> None:
+        sources = set(spent) | set(self.charged_lower) | set(self.failed_slack)
+        for source in sorted(sources):
+            lower = self.charged_lower.get(source, 0.0)
+            upper = lower + self.failed_slack.get(source, 0.0)
+            actual = spent.get(source, 0.0)
+            if actual < lower - 1e-6:
+                report.violations.append(
+                    f"lost ε ({where}): source {source!r} durably spent "
+                    f"{actual:.6f} < acknowledged charges {lower:.6f}"
+                )
+            if actual > upper + 1e-6:
+                report.violations.append(
+                    f"phantom ε ({where}): source {source!r} durably spent "
+                    f"{actual:.6f} > acknowledged {lower:.6f} + "
+                    f"failed-attempt slack {upper - lower:.6f}"
+                )
+
+
+def _spent_by_source(budget: dict[str, dict[str, float]]) -> dict[str, float]:
+    return {source: row.get("spent", 0.0) for source, row in budget.items()}
+
+
+# ----------------------------------------------------------------------
+# In-process mode
+# ----------------------------------------------------------------------
+def _run_inprocess(
+    seed: int, steps: int, executor: str, verbose: bool
+) -> ChaosReport:
+    from ..service.core import MeasurementService
+
+    report = ChaosReport(seed=seed, steps=steps, mode=f"in-process[{executor}]")
+    rng = random.Random(seed)
+    shm_before = _shm_segments()
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    saved_env = {
+        key: os.environ.get(key)
+        for key in (ENV_VAR, "REPRO_SHARD_MIN_ROWS", "REPRO_SHARD_PROCESSES")
+    }
+    service = None
+    try:
+        if executor == "sharded":
+            # Tiny inputs must still shard, with a small worker pool; arm the
+            # spawned workers themselves with an occasional worker-side fault
+            # (they self-install from the environment at import).
+            os.environ["REPRO_SHARD_MIN_ROWS"] = "1"
+            os.environ["REPRO_SHARD_PROCESSES"] = "2"
+            worker_plan = FaultPlan(
+                seed=seed,
+                rules=[FaultRule("pool.worker", "fail", after=3, every=5, limit=4)],
+            )
+            os.environ[ENV_VAR] = worker_plan.to_env()
+        ledger = os.path.join(tmpdir, "chaos-ledger.db")
+        service = MeasurementService(
+            workers=2,
+            ledger_path=ledger,
+            breaker_threshold=3,
+            breaker_reset=0.2,
+        )
+        service.create_session(
+            "chaos",
+            _chaos_edges(),
+            total_epsilon=1e9,
+            seed=seed,
+            executor=executor,
+        )
+        unit_costs = {
+            query: service.session("chaos").queryable(query).privacy_cost(1.0)
+            for query in _QUERIES
+        }
+        accounting = _Accounting(unit_costs)
+
+        for step in range(steps):
+            plan = _random_plan(rng, plan_seed=seed * 1_000_003 + step)
+            query = rng.choice(_QUERIES)
+            epsilon = rng.choice(_EPSILONS)
+            deadline = None
+            if rng.random() < 0.1:
+                # Occasionally submit an already-expired deadline: it must be
+                # refused at admission without charging anything.
+                deadline = Deadline.after(0.0)
+            report.ops += 1
+            with active_plan(plan):
+                try:
+                    answer = service.measure(
+                        "chaos",
+                        query,
+                        epsilon,
+                        timeout=_LIVENESS_TIMEOUT,
+                        deadline=deadline,
+                    )
+                except TimeoutError:
+                    report.failed += 1
+                    accounting.record_failure(query, epsilon)
+                    report.violations.append(
+                        f"liveness: step {step} ({query}, ε={epsilon}) did not "
+                        f"resolve within {_LIVENESS_TIMEOUT:g}s — stuck "
+                        f"scheduler or pool"
+                    )
+                    break
+                except ReproError as exc:
+                    code = getattr(exc, "code", None)
+                    if code in _NO_CHARGE_CODES:
+                        report.refused += 1
+                        if deadline is not None and code != "deadline_exceeded":
+                            report.notes.append(
+                                f"step {step}: expired deadline surfaced as "
+                                f"{code} (expected deadline_exceeded)"
+                            )
+                    else:
+                        report.failed += 1
+                        accounting.record_failure(query, epsilon)
+                    continue
+            if deadline is not None:
+                report.violations.append(
+                    f"deadline: step {step} ({query}, ε={epsilon}) was "
+                    f"admitted despite an already-expired deadline"
+                )
+            key = (query, epsilon)
+            values = list(answer.result.items())
+            if key in accounting.answers:
+                report.cached_hits += 1
+                if values != accounting.answers[key]:
+                    report.violations.append(
+                        f"replay: step {step} ({query}, ε={epsilon}) returned "
+                        f"different values than the acknowledged release"
+                    )
+                if answer.charged:
+                    report.violations.append(
+                        f"phantom ε: step {step} re-charged the already "
+                        f"released ({query}, ε={epsilon})"
+                    )
+            else:
+                accounting.answers[key] = values
+                report.acked += 1
+            accounting.record_ack(query, epsilon, answer.charged)
+            if verbose:
+                print(
+                    f"chaos step {step}: {query} ε={epsilon} "
+                    f"charged={answer.charged} cached={answer.cached} "
+                    f"faults={plan.stats()}",
+                    file=sys.stderr,
+                )
+
+        service.shutdown()
+        service = None
+
+        # Reopen: the WAL replay must drop unresolved intents, keep every
+        # committed charge, and warm the answer cache from persisted
+        # releases.
+        reopened = MeasurementService(workers=2, ledger_path=ledger)
+        service = reopened
+        budget = reopened.session("chaos").budget_report()
+        accounting.check_bounds(
+            _spent_by_source(budget), report, "after ledger replay"
+        )
+        for (query, epsilon), values in accounting.answers.items():
+            answer = reopened.measure(
+                "chaos", query, epsilon, timeout=_LIVENESS_TIMEOUT
+            )
+            if list(answer.result.items()) != values:
+                report.violations.append(
+                    f"replay: ({query}, ε={epsilon}) not bit-identical after "
+                    f"ledger reopen"
+                )
+            if answer.charged:
+                report.violations.append(
+                    f"phantom ε: replay of ({query}, ε={epsilon}) charged "
+                    f"again after ledger reopen"
+                )
+        budget_after = reopened.session("chaos").budget_report()
+        if _spent_by_source(budget_after) != _spent_by_source(budget):
+            report.violations.append(
+                "phantom ε: replaying acknowledged answers changed the "
+                "durable spend"
+            )
+        reopened.shutdown()
+        service = None
+    finally:
+        if service is not None:
+            try:
+                service.shutdown()
+            except Exception:  # noqa: BLE001 - best-effort cleanup
+                pass
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    leaked = _shm_segments() - shm_before
+    if leaked:
+        report.violations.append(
+            f"shm: {len(leaked)} orphaned /dev/shm segment(s) after "
+            f"shutdown: {sorted(leaked)}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Subprocess kill-cycle mode
+# ----------------------------------------------------------------------
+def _spawn_serve(
+    ledger: str, workers: int, faults: str | None
+) -> tuple[subprocess.Popen, str]:
+    """Start ``repro serve`` in its own process group; returns (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path
+        for path in [
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env.get("PYTHONPATH", ""),
+        ]
+        if path
+    )
+    if faults:
+        env[ENV_VAR] = faults
+    else:
+        env.pop(ENV_VAR, None)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--ledger",
+            ledger,
+            "--workers",
+            str(workers),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        start_new_session=True,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    if "http://" not in line:
+        raise RuntimeError(f"repro serve failed to start: {line!r}")
+    url = "http://" + line.split("http://", 1)[1].split()[0].rstrip("/),")
+    return proc, url
+
+
+def _kill_group(proc: subprocess.Popen) -> None:
+    """SIGKILL the serve process and every forked worker in its group."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        pass
+    try:
+        proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+        pass
+
+
+def _subprocess_faults(rng: random.Random, cycle_seed: int) -> str:
+    """A randomized ``REPRO_FAULTS`` value for one serve incarnation.
+
+    May include a ``kill`` inside the WAL charge window — the sharpest
+    crash-consistency probe there is — plus transient WAL failures and a
+    dropped HTTP response (charge committed, ack lost)."""
+    rules = []
+    if rng.random() < 0.5:
+        point = rng.choice(["wal.intent_commit", "wal.pre_commit"])
+        rules.append(
+            FaultRule(point, "kill", after=rng.randint(4, 10), every=1, limit=1)
+        )
+    if rng.random() < 0.6:
+        point = rng.choice(["wal.intent_commit", "wal.pre_commit"])
+        rules.append(
+            FaultRule(
+                point, "fail", after=rng.randint(1, 3), every=rng.randint(2, 4),
+                limit=rng.randint(1, 3),
+            )
+        )
+    if rng.random() < 0.5:
+        rules.append(
+            FaultRule(
+                "http.write", "fail", after=rng.randint(2, 5),
+                every=rng.randint(3, 5), limit=rng.randint(1, 2),
+            )
+        )
+    return FaultPlan(seed=cycle_seed, rules=rules).to_env()
+
+
+def _run_subprocess(
+    seed: int, steps: int, workers: int, verbose: bool
+) -> ChaosReport:
+    from urllib.error import URLError
+
+    from ..service.http import ServiceClient
+    from ..service.registry import default_query_builders
+
+    report = ChaosReport(
+        seed=seed, steps=steps, mode=f"subprocess[workers={workers}]"
+    )
+    rng = random.Random(seed)
+    shm_before = _shm_segments()
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    ledger = os.path.join(tmpdir, "chaos-ledger.db")
+
+    # Unit ε costs are data-independent: derive them from a throwaway
+    # session over an empty dataset.
+    from ..core import PrivacySession
+
+    throwaway = PrivacySession()
+    empty = throwaway.protect("edges", [])
+    builders = default_query_builders()
+    unit_costs = {
+        query: builders[query](empty).privacy_cost(1.0) for query in _QUERIES
+    }
+    accounting = _Accounting(unit_costs)
+
+    connection_errors = (URLError, ConnectionError, TimeoutError, OSError)
+    cycles = max(2, min(4, steps // 10))
+    per_cycle = -(-steps // cycles)
+    proc = None
+    try:
+        edges = [list(edge) for edge in _chaos_edges()]
+        done = 0
+        for cycle in range(cycles):
+            faults = _subprocess_faults(rng, cycle_seed=seed * 7919 + cycle)
+            proc, url = _spawn_serve(ledger, workers, faults)
+            if cycle > 0:
+                report.restarts += 1
+            client = ServiceClient(url, timeout=_LIVENESS_TIMEOUT)
+            if cycle == 0:
+                from ..exceptions import SessionExistsError
+
+                for attempt in range(5):
+                    try:
+                        client.create_session(
+                            "chaos", edges, total_epsilon=1e9, seed=seed
+                        )
+                        break
+                    except SessionExistsError:
+                        break
+                    except connection_errors:
+                        if attempt == 4:
+                            raise
+                        time.sleep(0.2)
+            server_alive = True
+            while server_alive and done < min(steps, (cycle + 1) * per_cycle):
+                query = rng.choice(_QUERIES)
+                epsilon = rng.choice(_EPSILONS)
+                report.ops += 1
+                done += 1
+                start = time.monotonic()
+                while True:
+                    try:
+                        payload = client.measure("chaos", query, epsilon)
+                    except connection_errors:
+                        # The serve fleet died (kill schedule fired) or the
+                        # response was dropped after the work was done: the
+                        # outcome of this attempt is unknown — bound it as a
+                        # possible single charge and move to the next cycle.
+                        report.failed += 1
+                        accounting.record_failure(query, epsilon)
+                        if proc.poll() is not None:
+                            server_alive = False
+                            break
+                        if time.monotonic() - start > _LIVENESS_TIMEOUT:
+                            report.violations.append(
+                                f"liveness: op {done} ({query}, ε={epsilon}) "
+                                f"kept failing for {_LIVENESS_TIMEOUT:g}s "
+                                f"while the server stayed up"
+                            )
+                            server_alive = False
+                            break
+                        time.sleep(0.05)
+                        continue
+                    except ReproError as exc:
+                        code = getattr(exc, "code", None)
+                        if code in _NO_CHARGE_CODES:
+                            report.refused += 1
+                        else:
+                            report.failed += 1
+                            accounting.record_failure(query, epsilon)
+                        break
+                    key = (query, epsilon)
+                    values = payload["values"]
+                    if key in accounting.answers:
+                        report.cached_hits += 1
+                        if values != accounting.answers[key]:
+                            report.violations.append(
+                                f"replay: op {done} ({query}, ε={epsilon}) "
+                                f"differs from the acknowledged release"
+                            )
+                        if payload["charged"]:
+                            report.violations.append(
+                                f"phantom ε: op {done} re-charged the "
+                                f"released ({query}, ε={epsilon})"
+                            )
+                    else:
+                        accounting.answers[key] = values
+                        report.acked += 1
+                    accounting.record_ack(query, epsilon, payload["charged"])
+                    break
+                if verbose and done % 10 == 0:
+                    print(
+                        f"chaos cycle {cycle}: {done}/{steps} ops",
+                        file=sys.stderr,
+                    )
+            _kill_group(proc)
+            proc = None
+
+        # Final incarnation, faults off: replay + accounting verification.
+        proc, url = _spawn_serve(ledger, workers, faults=None)
+        report.restarts += 1
+        client = ServiceClient(url, timeout=_LIVENESS_TIMEOUT)
+        budget = client.budget("chaos")
+        accounting.check_bounds(
+            _spent_by_source(budget), report, "after kill-cycle recovery"
+        )
+        for (query, epsilon), values in accounting.answers.items():
+            payload = client.measure("chaos", query, epsilon)
+            if payload["values"] != values:
+                report.violations.append(
+                    f"replay: ({query}, ε={epsilon}) not bit-identical after "
+                    f"crash recovery"
+                )
+            if payload["charged"]:
+                report.violations.append(
+                    f"phantom ε: replay of ({query}, ε={epsilon}) charged "
+                    f"again after crash recovery"
+                )
+        budget_after = client.budget("chaos")
+        if _spent_by_source(budget_after) != _spent_by_source(budget):
+            report.violations.append(
+                "phantom ε: replaying acknowledged answers changed the "
+                "durable spend"
+            )
+        # Graceful shutdown this time: SIGTERM drains and snapshots.
+        try:
+            os.killpg(proc.pid, signal.SIGTERM)
+        except (ProcessLookupError, PermissionError):
+            pass
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            _kill_group(proc)
+            report.violations.append(
+                "liveness: graceful shutdown (SIGTERM) did not complete "
+                "within 30s"
+            )
+        proc = None
+    finally:
+        if proc is not None:
+            _kill_group(proc)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    leaked = _shm_segments() - shm_before
+    if leaked:
+        report.violations.append(
+            f"shm: {len(leaked)} orphaned /dev/shm segment(s) after "
+            f"shutdown: {sorted(leaked)}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+def run_chaos(
+    seed: int = 0,
+    steps: int = 50,
+    workers: int = 1,
+    executor: str = "eager",
+    verbose: bool = False,
+) -> ChaosReport:
+    """Run one chaos campaign and return its :class:`ChaosReport`.
+
+    ``workers >= 2`` selects the subprocess kill-cycle mode (a real
+    ``repro serve --workers N`` fleet, SIGKILLed between cycles); otherwise
+    the service is driven in-process with per-step fault schedules.
+    ``executor`` applies to the in-process session (``"sharded"`` exercises
+    the pool/shm fault points and the inline degrade path).
+    """
+    if steps < 1:
+        raise ValueError("chaos needs at least 1 step")
+    if workers >= 2:
+        return _run_subprocess(seed, steps, workers, verbose)
+    return _run_inprocess(seed, steps, executor, verbose)

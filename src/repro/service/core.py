@@ -11,7 +11,10 @@ this object; tests and embedded use drive it directly.
 from __future__ import annotations
 
 from concurrent.futures import Future
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.deadline import Deadline
 
 from ..core.dataset import WeightedDataset
 from ..core.queryable import Queryable
@@ -49,6 +52,13 @@ class MeasurementService:
     max_total_pending:
         Global load-shedding bound on pending measurements across all
         sessions (None disables shedding).
+    deadline_ms:
+        Default end-to-end deadline applied to measurements that arrive
+        without one (None disables the default).  Deadlines are enforced
+        pre-charge only — see :mod:`repro.resilience.deadline`.
+    breaker_threshold / breaker_reset:
+        Consecutive-failure threshold and open-window seconds for the
+        durable-ledger circuit breaker (only meaningful with a ledger).
     """
 
     def __init__(
@@ -61,6 +71,9 @@ class MeasurementService:
         rate_limit: float | None = None,
         rate_burst: float | None = None,
         max_total_pending: int | None = None,
+        deadline_ms: float | None = None,
+        breaker_threshold: int | None = None,
+        breaker_reset: float = 5.0,
     ) -> None:
         self.store = None
         if ledger_path is not None:
@@ -96,8 +109,11 @@ class MeasurementService:
             store=self.store,
             rate_limiter=rate_limiter,
             shedder=shedder,
+            breaker_threshold=breaker_threshold,
+            breaker_reset=breaker_reset,
         )
         self._default_executor = default_executor
+        self.deadline_ms = deadline_ms
         if self.store is not None:
             # Warm boot: re-materialise every persisted session (each one's
             # durable ledger recovers its committed spend) and, through
@@ -174,16 +190,38 @@ class MeasurementService:
     # ------------------------------------------------------------------
     # Measurements
     # ------------------------------------------------------------------
-    def submit(self, session: str, query: str, epsilon: float) -> Future:
+    def submit(
+        self,
+        session: str,
+        query: str,
+        epsilon: float,
+        deadline: "Deadline | None" = None,
+    ) -> Future:
         """Enqueue a measurement; resolves to a
-        :class:`~repro.service.scheduler.MeasurementAnswer`."""
-        return self.scheduler.submit(session, query, epsilon)
+        :class:`~repro.service.scheduler.MeasurementAnswer`.
+
+        ``deadline`` defaults to the service-wide ``deadline_ms`` (when
+        configured); pass an explicit :class:`~repro.resilience.deadline
+        .Deadline` to override it per request.
+        """
+        if deadline is None and self.deadline_ms is not None:
+            from ..resilience.deadline import Deadline
+
+            deadline = Deadline.after(self.deadline_ms / 1000.0)
+        return self.scheduler.submit(session, query, epsilon, deadline=deadline)
 
     def measure(
-        self, session: str, query: str, epsilon: float, timeout: float | None = None
+        self,
+        session: str,
+        query: str,
+        epsilon: float,
+        timeout: float | None = None,
+        deadline: "Deadline | None" = None,
     ) -> MeasurementAnswer:
         """Blocking measurement against a hosted session."""
-        return self.submit(session, query, epsilon).result(timeout=timeout)
+        return self.submit(session, query, epsilon, deadline=deadline).result(
+            timeout=timeout
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:

@@ -42,17 +42,26 @@ from typing import Any
 
 from ..exceptions import (
     BudgetExceededError,
+    CircuitOpenError,
+    DeadlineExceededError,
     InvalidEpsilonError,
     PlanError,
     RateLimitedError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
+    SessionExistsError,
 )
+from ..resilience.deadline import Deadline
+from ..resilience.faults import inject
 from .core import MeasurementService
 from .scheduler import MeasurementAnswer
 
 __all__ = ["ServiceClient", "ServiceHTTPServer", "answer_to_json", "serve"]
+
+#: HTTP request header carrying the client's end-to-end deadline budget in
+#: milliseconds; parsed into a :class:`Deadline` at the transport edge.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 
 def records_from_json(records: Any) -> list[Any]:
@@ -86,6 +95,25 @@ def answer_to_json(answer: MeasurementAnswer) -> dict[str, Any]:
     }
 
 
+# The central error-code → HTTP-status table.  Every service-visible
+# exception carries a stable machine-readable ``code`` (see
+# :mod:`repro.exceptions`); this is the single place codes become statuses,
+# so no endpoint constructs 4xx/5xx responses ad hoc.
+_STATUS_BY_CODE = {
+    "rate_limited": 429,
+    "circuit_open": 503,
+    "overloaded": 503,
+    "persistence_unavailable": 503,
+    "budget_exceeded": 403,
+    "deadline_exceeded": 504,
+    "session_exists": 409,
+    "invalid_epsilon": 400,
+    "invalid_plan": 400,
+    "fault_injected": 500,
+    "service_error": 404,
+}
+
+# Fallback for exceptions without a ``code`` (stdlib errors, third parties).
 _STATUS_FOR = (
     (RateLimitedError, 429),
     (ServiceOverloadedError, 503),
@@ -97,6 +125,11 @@ _STATUS_FOR = (
 
 
 def _status_for(exc: BaseException) -> int:
+    code = getattr(exc, "code", None)
+    if code is not None:
+        status = _STATUS_BY_CODE.get(code)
+        if status is not None:
+            return status
     for kind, status in _STATUS_FOR:
         if isinstance(exc, kind):
             return status
@@ -115,6 +148,10 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _reply(self, payload: dict[str, Any], status: int = 200) -> None:
+        # Fault point: a "fail" here drops the connection before any bytes
+        # of the response are written — the client sees a connection error
+        # even though the service-side work (and any budget charge) is done.
+        inject("http.write")
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -124,15 +161,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _error(self, exc: BaseException) -> None:
         payload: dict[str, Any] = {"error": str(exc), "type": type(exc).__name__}
+        code = getattr(exc, "code", None)
+        if code is not None:
+            payload["code"] = code
+            payload["retryable"] = bool(getattr(exc, "retryable", False))
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
         if isinstance(exc, BudgetExceededError):
             payload["requested"] = exc.requested
             payload["remaining"] = exc.remaining
             payload["source"] = exc.source
-        if isinstance(exc, RateLimitedError):
-            payload["retry_after"] = exc.retry_after
         self._reply(payload, status=_status_for(exc))
 
     def _payload(self) -> dict[str, Any]:
+        # Fault point: a request lost mid-read (client vanished, socket
+        # reset) before the service layer ever sees it.
+        inject("http.read")
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
@@ -140,6 +185,20 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(decoded, dict):
             raise PlanError("request body must be a JSON object")
         return decoded
+
+    def _deadline(self) -> Deadline | None:
+        """The request's :class:`Deadline`, from ``X-Repro-Deadline-Ms``."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except ValueError as exc:
+            raise PlanError(
+                f"invalid {DEADLINE_HEADER} header {raw!r}: expected a number "
+                f"of milliseconds"
+            ) from exc
+        return Deadline.after(budget_ms / 1000.0)
 
     def _route(self) -> tuple[str, ...]:
         return tuple(part for part in self.path.split("?", 1)[0].split("/") if part)
@@ -180,20 +239,17 @@ class _Handler(BaseHTTPRequestHandler):
                     records = records_from_json(payload["records"])
                 except KeyError as exc:
                     raise PlanError(f"missing required field {exc.args[0]!r}") from exc
-                try:
-                    hosted = service.create_session(
-                        name,
-                        records,
-                        total_epsilon=float(payload.get("total_epsilon", float("inf"))),
-                        seed=payload.get("seed"),
-                        executor=payload.get("executor"),
-                        source=payload.get("source", "edges"),
-                    )
-                except ServiceError as exc:
-                    # Name conflicts are the one ServiceError that is not a
-                    # failed lookup: answer 409, not 404.
-                    self._reply({"error": str(exc), "type": type(exc).__name__}, 409)
-                    return
+                # Name conflicts raise SessionExistsError (code
+                # "session_exists"), which the central status table maps to
+                # 409 — no ad-hoc handling needed here.
+                hosted = service.create_session(
+                    name,
+                    records,
+                    total_epsilon=float(payload.get("total_epsilon", float("inf"))),
+                    seed=payload.get("seed"),
+                    executor=payload.get("executor"),
+                    source=payload.get("source", "edges"),
+                )
                 self._reply(hosted.describe(), status=201)
             elif len(route) == 4 and route[:2] == ("v1", "sessions") and route[3] == "measure":
                 try:
@@ -201,11 +257,28 @@ class _Handler(BaseHTTPRequestHandler):
                     epsilon = payload["epsilon"]
                 except KeyError as exc:
                     raise PlanError(f"missing required field {exc.args[0]!r}") from exc
+                deadline = self._deadline()
+                wait = self.server.measure_timeout
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    wait = remaining if wait is None else min(wait, remaining)
                 try:
                     answer = service.measure(
-                        route[2], query, epsilon, timeout=self.server.measure_timeout
+                        route[2], query, epsilon, timeout=wait, deadline=deadline
                     )
                 except TimeoutError as exc:
+                    if deadline is not None and deadline.expired():
+                        # The client's own deadline ran out while the
+                        # measurement was in flight.  Whether ε was charged
+                        # depends on how far the request got; if it was, the
+                        # released answer is cached and an identical retry
+                        # collects it free of charge.
+                        raise DeadlineExceededError(
+                            f"deadline expired after {wait:g}s while the "
+                            f"measurement was in flight; retry the identical "
+                            f"request to collect its released answer without "
+                            f"additional charge"
+                        ) from exc
                     # The measurement is still executing (and will charge the
                     # budget when it completes): answer retryable-503, not
                     # 500 — retrying the identical request collects the
@@ -298,6 +371,9 @@ def serve(
     rate_limit: float | None = None,
     rate_burst: float | None = None,
     max_total_pending: int | None = None,
+    deadline_ms: float | None = None,
+    breaker_threshold: int | None = None,
+    breaker_reset: float = 5.0,
     listen_socket=None,
 ) -> ServiceHTTPServer:
     """Build a :class:`ServiceHTTPServer` (not yet serving).
@@ -305,7 +381,11 @@ def serve(
     Callers run ``server.serve_forever()`` (the CLI) or
     ``server.serve_in_background()`` (tests/benchmarks); ``port=0`` binds an
     ephemeral port, available afterwards via ``server.url``.  ``ledger``
-    makes the service durable (see :class:`MeasurementService`).
+    makes the service durable (see :class:`MeasurementService`);
+    ``deadline_ms`` applies a default end-to-end deadline to measurements
+    arriving without an ``X-Repro-Deadline-Ms`` header, and
+    ``breaker_threshold``/``breaker_reset`` tune the durable-ledger circuit
+    breaker.
     """
     if service is None:
         service = MeasurementService(
@@ -317,6 +397,9 @@ def serve(
             rate_limit=rate_limit,
             rate_burst=rate_burst,
             max_total_pending=max_total_pending,
+            deadline_ms=deadline_ms,
+            breaker_threshold=breaker_threshold,
+            breaker_reset=breaker_reset,
         )
     return ServiceHTTPServer(
         (host, port), service, verbose=verbose, listen_socket=listen_socket
@@ -338,14 +421,18 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
     ) -> dict[str, Any]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -360,22 +447,37 @@ class ServiceClient:
     @staticmethod
     def _exception_for(status: int, error: dict[str, Any]) -> ReproError:
         message = error.get("error", f"HTTP {status}")
+        code = error.get("code", "")
         kind = error.get("type", "")
-        if status == 429 or kind == "RateLimitedError":
+        # The machine-readable ``code`` is the stable contract; the legacy
+        # ``type`` name and bare status are fallbacks for older servers.
+        if code == "rate_limited" or status == 429 or kind == "RateLimitedError":
             return RateLimitedError(
                 message, retry_after=error.get("retry_after", 0.0)
             )
-        if status == 503 or kind == "ServiceOverloadedError":
+        if code == "circuit_open" or kind == "CircuitOpenError":
+            return CircuitOpenError(
+                message, retry_after=error.get("retry_after", 0.0)
+            )
+        if code == "deadline_exceeded" or kind == "DeadlineExceededError":
+            return DeadlineExceededError(message)
+        if code == "session_exists" or kind == "SessionExistsError":
+            return SessionExistsError(message)
+        if (
+            code == "overloaded"
+            or status == 503
+            or kind == "ServiceOverloadedError"
+        ):
             return ServiceOverloadedError(message)
-        if kind == "BudgetExceededError":
+        if code == "budget_exceeded" or kind == "BudgetExceededError":
             return BudgetExceededError(
                 error.get("requested", 0.0),
                 error.get("remaining", 0.0),
                 source=error.get("source"),
             )
-        if kind == "InvalidEpsilonError":
+        if code == "invalid_epsilon" or kind == "InvalidEpsilonError":
             return InvalidEpsilonError(message)
-        if kind == "PlanError":
+        if code == "invalid_plan" or kind == "PlanError":
             return PlanError(message)
         return ServiceError(message)
 
@@ -430,12 +532,27 @@ class ServiceClient:
         path = "/v1/audit" if name is None else f"/v1/sessions/{name}/audit"
         return self._request("GET", path)["events"]
 
-    def measure(self, session: str, query: str, epsilon: float) -> dict[str, Any]:
-        """Take one measurement; returns the released values payload."""
+    def measure(
+        self,
+        session: str,
+        query: str,
+        epsilon: float,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """Take one measurement; returns the released values payload.
+
+        ``deadline_ms`` sends an end-to-end deadline with the request (the
+        ``X-Repro-Deadline-Ms`` header); an expired deadline is refused at
+        admission with a 504 before any budget is charged.
+        """
+        headers = None
+        if deadline_ms is not None:
+            headers = {DEADLINE_HEADER: f"{deadline_ms:g}"}
         return self._request(
             "POST",
             f"/v1/sessions/{session}/measure",
             {"query": query, "epsilon": epsilon},
+            headers=headers,
         )
 
     def stats(self) -> dict[str, Any]:

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..core.dataset import WeightedDataset
 from ..core.queryable import PrivacySession, Queryable
-from ..exceptions import ServiceError
+from ..exceptions import ServiceError, SessionExistsError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..persistence.wal import LedgerStore
@@ -257,9 +257,9 @@ class SessionRegistry:
                     if self._on_evict is not None:
                         self._on_evict(name)
             if name in self._sessions or name in self._reserved:
-                raise ServiceError(f"a session named {name!r} already exists")
+                raise SessionExistsError(f"a session named {name!r} already exists")
             if self._store is not None and self._store.get_session(name) is not None:
-                raise ServiceError(
+                raise SessionExistsError(
                     f"a session named {name!r} already exists (persisted)"
                 )
             self._reserved.add(name)
@@ -274,6 +274,7 @@ class SessionRegistry:
             )
             for query_name, builder in builders.items():
                 hosted.register_query(query_name, builder(protected))
+            self._wire_degrade(name, session)
             self._persist(hosted, total_epsilon, seed, executor, queries)
         except BaseException:
             with self._lock:
@@ -428,11 +429,27 @@ class SessionRegistry:
         try:
             self._store.put_session(hosted.name, payload)
         except sqlite3.IntegrityError as exc:
-            raise ServiceError(
+            raise SessionExistsError(
                 f"a session named {hosted.name!r} already exists (created "
                 f"concurrently by another worker)"
             ) from exc
         hosted.generation = generation
+
+    def _wire_degrade(self, name: str, session: PrivacySession) -> None:
+        """Route the executor's degraded-mode notifications into the audit log.
+
+        Duck-typed on an ``on_degrade`` attribute so only backends that can
+        degrade (today the sharded executor falling back to its inline
+        vectorized path) are wired, without importing the shard package.
+        """
+        executor = getattr(session, "executor", None)
+        if executor is None or not hasattr(executor, "on_degrade"):
+            return
+
+        def record_degrade(reason: str, _name: str = name) -> None:
+            self.record(_name, "degraded", reason=reason)
+
+        executor.on_degrade = record_degrade
 
     def _materialize_locked(self, name: str, payload: dict[str, Any]) -> HostedSession:
         """Rebuild a persisted session (registry lock held).
@@ -479,6 +496,7 @@ class SessionRegistry:
         hosted.generation = payload.get("generation")
         for query_name, builder in default_query_builders().items():
             hosted.register_query(query_name, builder(protected))
+        self._wire_degrade(name, session)
         self._sessions[name] = hosted
         self.record(name, "restore-session", source=source)
         if self._on_restore is not None:

@@ -32,13 +32,23 @@ pool size (``workers``) caps cross-tenant parallelism.
 from __future__ import annotations
 
 import os
+import sqlite3
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
-from ..exceptions import BudgetExceededError, ServiceOverloadedError
+from ..exceptions import (
+    BudgetExceededError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    PersistenceError,
+    ServiceOverloadedError,
+)
+from ..resilience.deadline import Deadline, deadline_scope
+from ..resilience.policy import CircuitBreaker, RetryPolicy
 from .cache import AnswerCache
 from .registry import HostedSession, SessionRegistry
 
@@ -71,6 +81,7 @@ class _PendingRequest:
     epsilon: float
     queryable: object
     future: Future
+    deadline: Deadline | None = field(default=None)
 
 
 class BatchingScheduler:
@@ -85,6 +96,9 @@ class BatchingScheduler:
         store: "LedgerStore | None" = None,
         rate_limiter: "RateLimiter | None" = None,
         shedder: "LoadShedder | None" = None,
+        breaker_threshold: int | None = None,
+        breaker_reset: float = 5.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be a positive integer")
@@ -100,6 +114,24 @@ class BatchingScheduler:
         # global pending bound, then the per-session queue bound.
         self._rate_limiter = rate_limiter
         self._shedder = shedder
+        # The durable-ledger circuit breaker: repeated ledger failures trip
+        # it and subsequent submissions fail fast (503 + retry_after) instead
+        # of queueing behind a broken sqlite file.  Transient ledger errors
+        # in the retry-safe window (before the commit record is durable) are
+        # retried with seeded backoff first.
+        self._ledger_breaker: CircuitBreaker | None = None
+        self._ledger_retry: RetryPolicy | None = None
+        if store is not None:
+            self._ledger_breaker = CircuitBreaker(
+                threshold=breaker_threshold if breaker_threshold else 5,
+                reset_after=breaker_reset,
+                name="ledger",
+            )
+            self._ledger_retry = (
+                retry_policy
+                if retry_policy is not None
+                else RetryPolicy(retries=2, base_delay=0.02, max_delay=0.5, seed=0)
+            )
         # Scale the drain pool with the machine rather than a flat 4: each
         # worker drains a different session's queue (batching is per-session),
         # and the columnar kernels release the GIL, so more cores really do
@@ -137,6 +169,8 @@ class BatchingScheduler:
             stats["rate_limit"] = self._rate_limiter.stats()
         if self._shedder is not None:
             stats["load_shedding"] = self._shedder.stats()
+        if self._ledger_breaker is not None:
+            stats["ledger_breaker"] = self._ledger_breaker.stats()
         return stats
 
     def shutdown(self, wait: bool = True) -> None:
@@ -144,7 +178,13 @@ class BatchingScheduler:
         self._pool.shutdown(wait=wait)
 
     # ------------------------------------------------------------------
-    def submit(self, session_name: str, query: str, epsilon: float) -> Future:
+    def submit(
+        self,
+        session_name: str,
+        query: str,
+        epsilon: float,
+        deadline: Deadline | None = None,
+    ) -> Future:
         """Enqueue one measurement; the future resolves to a
         :class:`MeasurementAnswer` (or raises the measurement's error).
 
@@ -156,9 +196,29 @@ class BatchingScheduler:
         The session name is validated *before* rate-limit admission so
         garbage names never allocate per-tenant token buckets (which are
         only reclaimed when a real session closes).
+
+        An already-expired ``deadline`` is refused here, at admission, with
+        :class:`~repro.exceptions.DeadlineExceededError` — before any rate
+        token, queue slot, or ε is consumed.  A still-live deadline rides
+        with the request: it is re-checked (pre-charge) when its batch
+        drains, and bounds the executor's pool task timeouts.  When the
+        ledger circuit breaker is open, submissions fail fast with
+        :class:`~repro.exceptions.CircuitOpenError` rather than queueing
+        writes behind a broken store.
         """
         hosted = self._registry.get(session_name)
         queryable = hosted.queryable(query)
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceededError(
+                f"deadline expired before admission of {query!r} "
+                f"on session {session_name!r}; no budget was charged"
+            )
+        breaker = self._ledger_breaker
+        if breaker is not None and breaker.state == "open":
+            raise CircuitOpenError(
+                "durable ledger circuit breaker is open; failing fast",
+                retry_after=breaker.retry_after(),
+            )
         if self._rate_limiter is not None:
             self._rate_limiter.admit(session_name)
         future: Future = Future()
@@ -184,7 +244,7 @@ class BatchingScheduler:
         if self._shedder is not None:
             self._shedder.admit()
             future.add_done_callback(lambda _done: self._shedder.release())
-        pending = _PendingRequest(query, float(epsilon), queryable, future)
+        pending = _PendingRequest(query, float(epsilon), queryable, future, deadline)
         try:
             with self._lock:
                 queue = self._queues.setdefault(session_name, [])
@@ -232,9 +292,15 @@ class BatchingScheduler:
         self._cache.put(session_name, queryable.plan, epsilon, result)
         return self._cache.get(session_name, queryable.plan, epsilon)
 
-    def measure(self, session_name: str, query: str, epsilon: float) -> MeasurementAnswer:
+    def measure(
+        self,
+        session_name: str,
+        query: str,
+        epsilon: float,
+        deadline: Deadline | None = None,
+    ) -> MeasurementAnswer:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(session_name, query, epsilon).result()
+        return self.submit(session_name, query, epsilon, deadline=deadline).result()
 
     @contextmanager
     def hold_batches(self, session_name: str) -> Iterator[None]:
@@ -287,6 +353,24 @@ class BatchingScheduler:
         # remaining identical (plan, ε) requests onto one measurement each.
         groups: dict[tuple[int, float], list[_PendingRequest]] = {}
         for item in batch:
+            if item.deadline is not None and item.deadline.expired():
+                # Shed pre-charge: the request waited out its deadline in the
+                # queue.  Nothing was charged, so the refusal is free — and a
+                # retry of the same (query, ε) may still hit the cache if a
+                # co-batched twin goes on to release it.
+                self._registry.record(
+                    session_name,
+                    "deadline-shed",
+                    query=item.query,
+                    epsilon=item.epsilon,
+                )
+                item.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline expired while {item.query!r} was queued "
+                        f"on session {session_name!r}; no budget was charged"
+                    )
+                )
+                continue
             answer = self._cached_answer(
                 session_name, item.query, item.epsilon, item.queryable
             )
@@ -315,11 +399,13 @@ class BatchingScheduler:
             self._batches += 1
             self._largest_batch = max(self._largest_batch, len(representatives))
         try:
-            released = hosted.session.measure(
-                *[
+            released = self._measure(
+                hosted,
+                [
                     (item.queryable, item.epsilon, item.query)
                     for item in representatives
-                ]
+                ],
+                self._group_deadline(representatives),
             )
         except BudgetExceededError:
             # The fused batch is all-or-nothing at the ledger; retry each
@@ -348,6 +434,88 @@ class BatchingScheduler:
                 batch_size=len(representatives),
             )
 
+    @staticmethod
+    def _group_deadline(representatives: list[_PendingRequest]) -> Deadline | None:
+        """The deadline governing one fused executor pass.
+
+        ``None`` (no constraint) if any fused request has no deadline —
+        an unconstrained request must never be shed on a co-batched
+        tenant's clock; otherwise the *latest* deadline in the group, the
+        most permissive bound that still honours someone's.
+        """
+        deadlines = []
+        for item in representatives:
+            if item.deadline is None:
+                return None
+            deadlines.append(item.deadline)
+        return max(deadlines, key=lambda item: item.expires_at)
+
+    def _measure(self, hosted: HostedSession, specs: list, deadline):
+        """One ledger-charged executor pass, under the resilience policies.
+
+        The deadline scope makes the request deadline visible to the
+        pre-charge check in ``PrivacySession.measure`` and to the sharded
+        executor's pool task timeouts (the drain thread evaluates
+        synchronously, so the context variable propagates).  Retry-safe
+        ledger failures — those that strike before the charge's commit
+        record is durable, so replay drops the intents — are retried with
+        seeded backoff; every ledger failure charges the circuit breaker.
+        """
+        def attempt():
+            return hosted.session.measure(*specs)
+
+        with deadline_scope(deadline):
+            breaker = self._ledger_breaker
+            if breaker is None:
+                return attempt()
+            breaker.check()
+            try:
+                if self._ledger_retry is not None:
+                    result = self._ledger_retry.call(
+                        attempt, retryable=self._ledger_retryable
+                    )
+                else:
+                    result = attempt()
+            except BaseException as exc:
+                # Resolve the breaker on every outcome (a claimed half-open
+                # probe must never dangle): only ledger failures count
+                # against it — budget refusals, plan errors and deadline
+                # refusals are the service working as intended.
+                if self._is_ledger_failure(exc):
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+                raise
+            breaker.record_success()
+            return result
+
+    @staticmethod
+    def _is_ledger_failure(exc: BaseException) -> bool:
+        if isinstance(exc, (sqlite3.Error, PersistenceError)):
+            return True
+        return isinstance(exc, FaultInjectedError) and exc.point.startswith("wal.")
+
+    @staticmethod
+    def _ledger_retryable(exc: BaseException) -> bool:
+        """Whether retrying a failed charge is double-charge-safe.
+
+        Safe while the failure strikes *before* the commit record is durable
+        (busy/locked sqlite writers; injected faults up to ``wal.pre_commit``)
+        — replay drops the unresolved intents, so the retry is the first
+        effective charge.  A failure *after* the commit fsync
+        (``wal.post_commit``) means the ledger already charged: an automatic
+        retry would charge a second time, so it propagates instead — the
+        same contract as a crash in that window, where the spent ε is
+        durable but unreleased (the chaos invariants bound it as a failed
+        attempt).
+        """
+        if isinstance(exc, sqlite3.OperationalError):
+            return True
+        return isinstance(exc, FaultInjectedError) and exc.point in (
+            "wal.intent_commit",
+            "wal.pre_commit",
+        )
+
     def _run_individually(
         self,
         session_name: str,
@@ -358,8 +526,10 @@ class BatchingScheduler:
         for item in representatives:
             members = groups[(id(item.queryable.plan), item.epsilon)]
             try:
-                released = hosted.session.measure(
-                    (item.queryable, item.epsilon, item.query)
+                released = self._measure(
+                    hosted,
+                    [(item.queryable, item.epsilon, item.query)],
+                    item.deadline,
                 )
             except BaseException as exc:
                 if isinstance(exc, BudgetExceededError):

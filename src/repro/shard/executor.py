@@ -51,7 +51,7 @@ Two execution modes share the analysis and the merge path:
 from __future__ import annotations
 
 import os
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -72,6 +72,8 @@ from ..core.plan import (
     SourcePlan,
     WherePlan,
 )
+from ..resilience.deadline import current_deadline
+from ..resilience.policy import CircuitBreaker
 from .dataset import ShardedColumnarDataset, concat_merge, sum_merge
 from .interner import ShardInterner, merge_extensions, remap_codes
 from .memory import SegmentDescriptor, attach_segment, pack_arrays
@@ -126,6 +128,11 @@ class ShardedExecutor:
         Source-row threshold below which plans fall back to the inner
         vectorized executor (``REPRO_SHARD_MIN_ROWS`` overrides the
         default).
+    breaker:
+        The :class:`CircuitBreaker` guarding pool mode.  While open, pool
+        dispatch is skipped entirely and shardable plans run on the inner
+        vectorized executor — bit-identical, just slower.  Defaults to a
+        3-failure / 30-second breaker.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class ShardedExecutor:
         pool: ProcessPool | str | None = "auto",
         min_rows: int | None = None,
         start_method: str | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self._environment = environment
         self.shards = shards if shards is not None else default_shard_count()
@@ -149,6 +157,12 @@ class ShardedExecutor:
         self._owns_pool = False
         self._start_method = start_method
         self._portable: dict[int, tuple[Plan, PortablePlan]] = {}
+        self.pool_breaker = breaker if breaker is not None else CircuitBreaker(
+            threshold=3, reset_after=30.0, name="shard-pool"
+        )
+        #: Called with a reason string whenever pool mode degrades to the
+        #: inline vectorized path (the registry wires this to the audit log).
+        self.on_degrade: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -319,14 +333,43 @@ class ShardedExecutor:
         if self.inline:
             shard_outputs = self._run_inline(plan, partitions)
         else:
-            try:
-                shard_outputs = self._run_pooled(plan, partitions)
-            except (UnportablePlanError, PoolError):
-                # Unportable plans and pool-level failures degrade to the
-                # single-process backend: slower, never wrong.
+            task_timeout = None
+            deadline = current_deadline()
+            if deadline is not None:
+                task_timeout = deadline.remaining()
+                if task_timeout <= 0.0:
+                    # The request's deadline is already gone: skip dispatch
+                    # and produce the (bit-identical) answer inline — by this
+                    # point the budget is charged, so the answer must exist.
+                    self._degraded("deadline expired before pool dispatch")
+                    return self._vectorized.evaluate(plan)
+            if not self.pool_breaker.allow():
+                self._degraded("pool circuit open")
                 return self._vectorized.evaluate(plan)
+            try:
+                shard_outputs = self._run_pooled(plan, partitions, task_timeout)
+            except UnportablePlanError:
+                # Not a pool failure: the plan simply has no sharding
+                # contract.  Does not count against the breaker.
+                return self._vectorized.evaluate(plan)
+            except PoolError as exc:
+                # Pool-level failure: degrade to the single-process backend —
+                # slower, never wrong — and charge the breaker.
+                self.pool_breaker.record_failure()
+                self._degraded(f"pool failure: {exc}")
+                return self._vectorized.evaluate(plan)
+            else:
+                self.pool_breaker.record_success()
         merged = concat_merge(shard_outputs) if info.disjoint else sum_merge(shard_outputs)
         return merged.to_weighted()
+
+    def _degraded(self, reason: str) -> None:
+        callback = self.on_degrade
+        if callback is not None:
+            try:
+                callback(reason)
+            except Exception:  # pragma: no cover - observability must not fail
+                pass
 
     # -- inline mode ----------------------------------------------------
     def _run_inline(
@@ -360,7 +403,10 @@ class ShardedExecutor:
         return cached[1]
 
     def _run_pooled(
-        self, plan: Plan, partitions: dict[str, ShardedColumnarDataset]
+        self,
+        plan: Plan,
+        partitions: dict[str, ShardedColumnarDataset],
+        task_timeout: float | None = None,
     ) -> list[ColumnarDataset]:
         pool = self._ensure_pool()
         assert pool is not None
@@ -382,44 +428,49 @@ class ShardedExecutor:
             )
             for name in sources
         ]
-        for shard_index in range(self.shards):
-            arrays: dict[str, np.ndarray] = {}
-            for name in sources:
-                shard = partitions[name].shards[shard_index]
-                for position, column in enumerate(shard.columns):
-                    arrays[f"{name}/{position}"] = column
-                arrays[f"{name}/w"] = shard.weights
-            segment = pack_arrays(arrays)
-            segments.append(segment)
-
-            def prepare(worker, _version=version) -> dict:
-                sent = worker.meta.get("interner_sent", 0)
-                if sent > _version:
-                    sent = 0  # stale meta (should not happen) — resend all
-                worker.meta["interner_sent"] = _version
-                return {"delta": list(atoms[sent:_version])}
-
-            tasks.append(
-                PoolTask(
-                    run_shard,
-                    kwargs={
-                        "plan": portable,
-                        "layouts": layouts,
-                        "descriptor": segment.descriptor,
-                        "shard_index": shard_index,
-                    },
-                    prepare=prepare,
-                )
-            )
+        # The packing loop runs *inside* the try: a failure packing shard k
+        # must still release shards 0..k-1, or they orphan in /dev/shm.
         try:
-            responses = pool.run_batch(tasks)
-        except Exception:
-            # The broadcast position is now unknown per worker (a crashed or
-            # half-fed incarnation); force a full resend next time.  Deltas
-            # are deduplicated on the worker, so over-sending is safe.
-            for worker in pool.workers:
-                worker.meta.pop("interner_sent", None)
-            raise
+            for shard_index in range(self.shards):
+                arrays: dict[str, np.ndarray] = {}
+                for name in sources:
+                    shard = partitions[name].shards[shard_index]
+                    for position, column in enumerate(shard.columns):
+                        arrays[f"{name}/{position}"] = column
+                    arrays[f"{name}/w"] = shard.weights
+                segment = pack_arrays(arrays)
+                segments.append(segment)
+
+                def prepare(worker, _version=version) -> dict:
+                    sent = worker.meta.get("interner_sent", 0)
+                    if sent > _version:
+                        sent = 0  # stale meta (should not happen) — resend all
+                    worker.meta["interner_sent"] = _version
+                    return {"delta": list(atoms[sent:_version])}
+
+                tasks.append(
+                    PoolTask(
+                        run_shard,
+                        kwargs={
+                            "plan": portable,
+                            "layouts": layouts,
+                            "descriptor": segment.descriptor,
+                            "shard_index": shard_index,
+                        },
+                        prepare=prepare,
+                        timeout=task_timeout,
+                    )
+                )
+            try:
+                responses = pool.run_batch(tasks)
+            except Exception:
+                # The broadcast position is now unknown per worker (a crashed
+                # or half-fed incarnation); force a full resend next time.
+                # Deltas are deduplicated on the worker, so over-sending is
+                # safe.
+                for worker in pool.workers:
+                    worker.meta.pop("interner_sent", None)
+                raise
         finally:
             for segment in segments:
                 segment.release()

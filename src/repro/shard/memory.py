@@ -33,6 +33,8 @@ from typing import Mapping
 
 import numpy as np
 
+from ..resilience.faults import inject
+
 __all__ = ["SegmentDescriptor", "SharedSegment", "AttachedSegment", "pack_arrays", "attach_segment"]
 
 #: Alignment of each array inside a segment; keeps float64/int64 views on
@@ -81,12 +83,21 @@ class SharedSegment:
         return self
 
     def release(self) -> None:
-        """Drop one reference; the last one closes and unlinks the segment."""
+        """Drop one reference; the last one closes and unlinks the segment.
+
+        Releasing an already-released segment is a no-op (``_shm`` is cleared
+        before the unlink), so the crash path — which releases once for the
+        dead worker's outstanding reference — cannot double-release even if
+        the same failure is observed twice.
+        """
         if self._shm is None:
             return
         self._refs -= 1
         if self._refs <= 0:
             shm, self._shm = self._shm, None
+            # The unlink is the fault window: a coordinator dying here leaves
+            # an orphan in /dev/shm, which the chaos harness checks for.
+            inject("shm.unlink")
             shm.close()
             try:
                 shm.unlink()
@@ -164,6 +175,7 @@ class AttachedSegment:
 
 def attach_segment(descriptor: SegmentDescriptor) -> AttachedSegment:
     """Map an existing segment and return zero-copy views per the manifest."""
+    inject("shm.attach")
     shm = shared_memory.SharedMemory(name=descriptor.name)
     # The attach-time resource_tracker registration is left in place on
     # purpose — see the module docstring for the shared-tracker argument.

@@ -37,10 +37,14 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import threading
 import time
 import multiprocessing as mp
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable, Sequence
+
+from ..exceptions import FaultInjectedError
+from ..resilience.faults import inject
 
 __all__ = ["PoolError", "WorkerCrashError", "PoolTask", "ProcessPool"]
 
@@ -94,6 +98,7 @@ def _worker_main(conn, index: int, initializer, init_args) -> None:
             continue
         request_id, function, args, kwargs = frame
         try:
+            inject("pool.worker")
             result = function(*args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - forwarded, not hidden
             conn.send((request_id, "error", repr(exc), traceback.format_exc()))
@@ -128,7 +133,10 @@ class _Worker:
 class _Slot:
     """One task of a batch: its spec, attempts and eventual outcome."""
 
-    __slots__ = ("position", "task", "attempts", "result", "error", "done", "deadline")
+    __slots__ = (
+        "position", "task", "attempts", "result", "error", "done", "deadline",
+        "limit",
+    )
 
     def __init__(self, position: int, task: "PoolTask") -> None:
         self.position = position
@@ -138,6 +146,7 @@ class _Slot:
         self.error: Exception | None = None
         self.done = False
         self.deadline = 0.0
+        self.limit = 0.0
 
 
 class PoolTask:
@@ -148,9 +157,13 @@ class PoolTask:
     call.  This is the hook for per-worker payloads (the sharded executor
     computes each worker's interner delta here, because only at dispatch
     time is the receiving incarnation known).
+
+    ``timeout`` — optional — tightens the pool's ``task_timeout`` for this
+    one task (never loosens it); the sharded executor derives it from the
+    request's propagated deadline so a task cannot outlive its caller.
     """
 
-    __slots__ = ("function", "args", "kwargs", "prepare")
+    __slots__ = ("function", "args", "kwargs", "prepare", "timeout")
 
     def __init__(
         self,
@@ -158,11 +171,13 @@ class PoolTask:
         args: tuple = (),
         kwargs: dict | None = None,
         prepare: Callable[[_Worker], dict] | None = None,
+        timeout: float | None = None,
     ) -> None:
         self.function = function
         self.args = args
         self.kwargs = kwargs or {}
         self.prepare = prepare
+        self.timeout = timeout
 
 
 class ProcessPool:
@@ -194,6 +209,9 @@ class ProcessPool:
         self._request_ids = itertools.count()
         self._generations = itertools.count()
         self._closed = False
+        # Serialises concurrent shutdown() callers: the teardown runs once,
+        # later callers block until it finishes, then return.
+        self._shutdown_lock = threading.Lock()
         # Start the parent's resource tracker *before* any worker exists.
         # A fork child created while the tracker is still unlaunched lazily
         # starts its own private tracker on first shared-memory attach; that
@@ -260,6 +278,7 @@ class ProcessPool:
             token = next(self._request_ids)
             started = time.perf_counter()
             try:
+                inject("pool.heartbeat")
                 worker.conn.send((_PING, token))
                 while True:
                     if not worker.conn.poll(timeout):
@@ -297,15 +316,24 @@ class ProcessPool:
         def dispatch(worker: _Worker) -> None:
             slot = pending.pop(0)
             slot.attempts += 1
-            slot.deadline = time.monotonic() + self.task_timeout
+            slot.limit = self.task_timeout
+            if slot.task.timeout is not None:
+                slot.limit = min(slot.limit, slot.task.timeout)
+            slot.deadline = time.monotonic() + slot.limit
             kwargs = dict(slot.task.kwargs)
             if slot.task.prepare is not None:
                 kwargs.update(slot.task.prepare(worker))
             worker.task = slot
             try:
+                inject("pool.dispatch")
                 worker.conn.send(
                     (next(self._request_ids), slot.task.function, slot.task.args, kwargs)
                 )
+            except FaultInjectedError as exc:
+                # Injected dispatch failure: charge the attempt without
+                # killing the (healthy) worker.
+                worker.task = None
+                self._requeue_or_fail(slot, pending, failures, exc)
             except (OSError, BrokenPipeError):
                 worker.task = None
                 self._on_crash(worker, slot, pending, failures)
@@ -357,7 +385,7 @@ class ProcessPool:
                         pending,
                         failures,
                         WorkerCrashError(
-                            f"task {slot.position} exceeded the {self.task_timeout}s "
+                            f"task {slot.position} exceeded the {slot.limit}s "
                             f"deadline in worker {worker.index}; worker killed"
                         ),
                     )
@@ -390,7 +418,16 @@ class ProcessPool:
             raise PoolError("pool is shut down")
 
     def shutdown(self, timeout: float = 10.0) -> None:
-        """Stop every worker: graceful frame, join, then terminate/kill."""
+        """Stop every worker: graceful frame, join, then terminate/kill.
+
+        Idempotent under concurrent callers: the teardown runs exactly once;
+        a racing caller blocks until the workers are actually gone, so no
+        caller can observe a half-shut pool.
+        """
+        with self._shutdown_lock:
+            self._shutdown_locked(timeout)
+
+    def _shutdown_locked(self, timeout: float) -> None:
         if self._closed:
             return
         self._closed = True

@@ -1,0 +1,72 @@
+"""The randomized-schedule chaos harness and its four invariants.
+
+Each ``run_chaos`` campaign drives a live service under seed-deterministic
+fault schedules and asserts, per run:
+
+* no lost or phantom epsilon after ledger replay,
+* zero orphaned /dev/shm segments,
+* the scheduler and pool never wedge (liveness),
+* every acknowledged answer replays bit-identically without a second charge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ChaosInvariantError
+from repro.resilience.chaos import ChaosReport, run_chaos
+
+
+class TestChaosReport:
+    def test_ok_and_raise_if_violated(self):
+        clean = ChaosReport(seed=1, steps=1, mode="in-process[eager]")
+        assert clean.ok
+        clean.raise_if_violated()
+
+        broken = ChaosReport(
+            seed=1,
+            steps=1,
+            mode="in-process[eager]",
+            violations=["lost ε: durable spend below acknowledged charges"],
+        )
+        assert not broken.ok
+        with pytest.raises(ChaosInvariantError, match="lost ε"):
+            broken.raise_if_violated()
+        assert "INVARIANT VIOLATIONS" in broken.summary()
+
+    def test_rejects_degenerate_step_counts(self):
+        with pytest.raises(ValueError, match="at least 1 step"):
+            run_chaos(seed=0, steps=0)
+
+
+class TestInProcessChaos:
+    def test_fifty_randomized_schedules_hold_all_invariants(self):
+        report = run_chaos(seed=1234, steps=50)
+        report.raise_if_violated()
+        assert report.ops == 50
+        # Every op is classified exactly once.
+        assert (
+            report.acked + report.failed + report.refused + report.cached_hits
+            == report.ops
+        )
+        assert report.acked > 0  # the campaign exercised real charges
+
+    def test_a_second_seed_reaches_the_failure_paths(self):
+        report = run_chaos(seed=7, steps=30)
+        report.raise_if_violated()
+        assert report.ops == 30
+        assert report.failed + report.refused > 0  # faults actually fired
+
+    def test_sharded_executor_exercises_pool_and_shm_points(self):
+        report = run_chaos(seed=5, steps=12, executor="sharded")
+        report.raise_if_violated()
+        assert report.ops == 12
+        assert "sharded" in report.mode
+
+
+class TestSubprocessChaos:
+    def test_kill_cycles_over_a_worker_fleet_hold_all_invariants(self):
+        report = run_chaos(seed=11, steps=16, workers=2)
+        report.raise_if_violated()
+        assert report.ops == 16
+        assert "workers=2" in report.mode

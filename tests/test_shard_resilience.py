@@ -1,0 +1,207 @@
+"""Robustness regressions for the shard pool and executor.
+
+Covers the failure paths the resilience layer hardened: concurrent
+shutdown, shared-memory refcounts under crashes and packing failures,
+deterministic worker kills via ``REPRO_FAULTS`` (spawn workers re-read the
+environment at import), and deadline-driven degradation to the inline
+vectorized path.
+"""
+
+from __future__ import annotations
+
+import glob
+import threading
+import time
+
+import pytest
+
+from repro.core import WeightedDataset
+from repro.columnar.executor import VectorizedExecutor
+from repro.core.plan import SelectPlan, SourcePlan
+from repro.columnar.specs import Permute
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.faults import ENV_VAR
+from repro.shard.executor import ShardedExecutor
+from repro.shard.memory import pack_arrays
+from repro.shard.pool import ProcessPool
+
+import numpy as np
+
+
+def sleep_briefly(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+@pytest.fixture()
+def environment():
+    edges = sorted({(i % 50, (i * 7) % 53) for i in range(400) if i % 50 != (i * 7) % 53})
+    return {"edges": WeightedDataset.from_records(edges)}
+
+
+def _expected(environment, plan):
+    return VectorizedExecutor(environment).evaluate(plan).to_dict()
+
+
+class TestConcurrentShutdown:
+    def test_racing_shutdown_callers_block_until_workers_are_dead(self):
+        """Regression: a second shutdown() caller must not return while the
+        first caller's teardown is still killing workers.  The old
+        early-return on ``_closed`` let the loser observe a half-shut pool."""
+        pool = ProcessPool(workers=1, start_method="fork")
+        try:
+            pool.ping()
+            worker = pool.workers[0]
+            # Occupy the worker so the graceful STOP cannot be processed for
+            # ~1s, opening a wide window between the two callers.
+            worker.conn.send((next(pool._request_ids), sleep_briefly, (1.0,), {}))
+            time.sleep(0.1)  # let the worker pick the frame up
+
+            observed: dict[str, bool] = {}
+            barrier = threading.Barrier(2)
+
+            def shut(label: str) -> None:
+                barrier.wait()
+                pool.shutdown()
+                observed[label] = any(
+                    w.process.is_alive() for w in pool.workers
+                )
+
+            threads = [
+                threading.Thread(target=shut, args=(label,)) for label in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert observed == {"a": False, "b": False}
+        finally:
+            pool.shutdown()
+
+
+class TestSegmentRefcounts:
+    def test_release_is_refcounted_and_exactly_once(self):
+        segment = pack_arrays({"xs": np.arange(8, dtype=np.int64)})
+        path = f"/dev/shm/{segment.descriptor.name}"
+        assert glob.glob(path)
+        segment.acquire()  # coordinator + outstanding request
+        segment.release()  # the crash path releases the dead worker's ref
+        assert segment.live
+        assert glob.glob(path)
+        segment.release()  # last reference: close + unlink
+        assert not segment.live
+        assert not glob.glob(path)
+        segment.release()  # observing the same failure twice: no-op
+        assert not segment.live
+
+    def test_acquire_after_release_is_an_error(self):
+        segment = pack_arrays({"xs": np.arange(4, dtype=np.int64)})
+        segment.release()
+        with pytest.raises(ValueError, match="already released"):
+            segment.acquire()
+
+
+class TestPackingFailure:
+    def test_packing_failure_releases_prior_shards(self, environment, monkeypatch):
+        """Regression: a failure packing shard k must release shards 0..k-1.
+        The old code packed outside the try/finally and orphaned shard 0 in
+        /dev/shm."""
+        import repro.shard.executor as executor_module
+
+        created = []
+        state = {"calls": 0}
+
+        def flaky_pack(arrays):
+            state["calls"] += 1
+            if state["calls"] == 2:
+                raise RuntimeError("simulated packing failure")
+            segment = pack_arrays(arrays)
+            created.append(segment)
+            return segment
+
+        monkeypatch.setattr(executor_module, "pack_arrays", flaky_pack)
+        plan = SourcePlan("edges")
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="fork"
+        ) as executor:
+            with pytest.raises(RuntimeError, match="simulated packing failure"):
+                executor.evaluate(plan)
+            assert created, "shard 0 was packed before the failure"
+            assert all(not segment.live for segment in created)
+            assert not glob.glob("/dev/shm/psm_*")
+            # The pool survives the lost batch: the next evaluation succeeds.
+            got = executor.evaluate(plan).to_dict()
+        assert got == _expected(environment, plan)
+        assert not glob.glob("/dev/shm/psm_*")
+
+
+class TestInjectedWorkerCrash:
+    def test_sigkill_restart_stays_bit_identical_and_leak_free(
+        self, environment, monkeypatch
+    ):
+        """A deterministic SIGKILL inside a worker (REPRO_FAULTS is read by
+        spawned workers at import) retries on a fresh incarnation; the result
+        stays bit-identical and the dead worker's segment references are
+        released exactly once — nothing is left in /dev/shm."""
+        monkeypatch.setenv(ENV_VAR, "seed=0;pool.worker:kill@after=2,limit=1")
+        plan = SelectPlan(SourcePlan("edges"), Permute(1, 0))
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="spawn"
+        ) as executor:
+            for _ in range(2):  # the second batch crosses each worker's 2nd task
+                got = executor.evaluate(plan).to_dict()
+                assert got == _expected(environment, plan)
+            assert executor._pool is not None
+            assert executor._pool.restarts >= 1
+        assert not glob.glob("/dev/shm/psm_*")
+
+
+class TestDeadlineDegradation:
+    def test_expired_deadline_skips_dispatch_and_answers_inline(self, environment):
+        reasons = []
+        plan = SourcePlan("edges")
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="fork"
+        ) as executor:
+            executor.on_degrade = reasons.append
+            warm = executor.evaluate(plan).to_dict()  # pool path, no deadline
+            with deadline_scope(Deadline.after(0.0)):
+                got = executor.evaluate(plan).to_dict()
+            assert executor._pool.restarts == 0  # never dispatched
+        assert warm == got == _expected(environment, plan)
+        assert any("deadline expired" in reason for reason in reasons)
+
+    def test_worker_overrunning_the_deadline_falls_back_bit_identical(
+        self, environment, monkeypatch
+    ):
+        """A pool worker stalled past the request deadline is killed; once
+        retries are exhausted the executor degrades to the inline vectorized
+        path, which must produce the bit-identical answer."""
+        monkeypatch.setenv(ENV_VAR, "seed=0;pool.worker:delay:5")
+        reasons = []
+        plan = SourcePlan("edges")
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="spawn"
+        ) as executor:
+            executor.on_degrade = reasons.append
+            with deadline_scope(Deadline.after(1.0)):
+                got = executor.evaluate(plan).to_dict()
+            assert executor._pool.restarts >= 1  # overrun workers were killed
+            assert executor.pool_breaker.stats()["failures"] >= 1
+        assert got == _expected(environment, plan)
+        assert any("pool failure" in reason for reason in reasons)
+        assert not glob.glob("/dev/shm/psm_*")
+
+    def test_open_breaker_short_circuits_to_inline(self, environment):
+        reasons = []
+        plan = SourcePlan("edges")
+        with ShardedExecutor(
+            environment, shards=2, min_rows=0, start_method="fork"
+        ) as executor:
+            executor.on_degrade = reasons.append
+            for _ in range(executor.pool_breaker.threshold):
+                executor.pool_breaker.record_failure()
+            assert executor.pool_breaker.state == "open"
+            got = executor.evaluate(plan).to_dict()
+        assert got == _expected(environment, plan)
+        assert any("pool circuit open" in reason for reason in reasons)

@@ -334,23 +334,14 @@ def _lint_plans() -> int:
     return errors
 
 
-def _run_lint(args: argparse.Namespace) -> int:
-    """Run the privacy-invariant AST linter (``repro lint``).
-
-    With no path argument, lints the installed ``repro`` package itself —
-    the repo's own release-path invariants.  Exit status is 1 when any
-    error-severity finding survives suppressions and the baseline, or, with
-    ``--strict``, when anything at all is reported.
-    """
+def _lint_target(query: str | None) -> tuple["Path", "Path"] | None:
+    """Resolve the lint/locks target and its package root (None: bad path)."""
     from pathlib import Path
 
-    from .lint import Baseline, DEFAULT_RULES, LintError, format_issues, lint_paths
-
-    if args.query is not None:
-        target = Path(args.query)
+    if query is not None:
+        target = Path(query)
         if not target.exists():
-            print(f"lint: path {str(target)!r} does not exist", file=sys.stderr)
-            return 2
+            return None
     else:
         target = Path(__file__).resolve().parent
     if target.is_dir():
@@ -362,6 +353,37 @@ def _run_lint(args: argparse.Namespace) -> int:
         root = target.resolve().parent
         while (root / "__init__.py").exists() and root.parent != root:
             root = root.parent
+    return target, root
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the privacy-invariant AST linter (``repro lint``).
+
+    With no path argument, lints the installed ``repro`` package itself —
+    the repo's own release-path invariants.  ``--concurrency`` adds the
+    interprocedural lock-order/deadlock analysis (R007–R009) and ``--flow``
+    the privacy taint analysis (R010).
+
+    Exit codes (the contract CI relies on):
+
+    * ``0`` — clean: nothing to report beyond the baseline, and the
+      baseline (if given) is still accurate.
+    * ``1`` — findings: a new error-severity finding (any finding with
+      ``--strict``), a plan verification failure, **or** a stale baseline —
+      every grandfathered entry that no longer occurs must be removed with
+      ``--write-baseline`` so it cannot mask a future regression.
+    * ``2`` — usage: bad path, unreadable baseline, missing
+      ``--baseline`` for ``--write-baseline``.
+    """
+    from pathlib import Path
+
+    from .lint import Baseline, DEFAULT_RULES, LintError, format_issues, lint_paths
+
+    resolved = _lint_target(args.query)
+    if resolved is None:
+        print(f"lint: path {args.query!r} does not exist", file=sys.stderr)
+        return 2
+    target, root = resolved
 
     baseline = None
     baseline_path = Path(args.baseline) if args.baseline else None
@@ -379,30 +401,90 @@ def _run_lint(args: argparse.Namespace) -> int:
                 return 2
             baseline = Baseline.load(baseline_path)
 
-        issues = lint_paths([target], DEFAULT_RULES, root=root, baseline=baseline)
+        # Collect pre-baseline so staleness is detectable; filter below.
+        issues = lint_paths([target], DEFAULT_RULES, root=root, baseline=None)
+        model = None
+        if args.concurrency or args.flow:
+            from .lint.engine import ModuleSource, iter_python_files
+            from .lint.model import RepoModel
+
+            modules = []
+            for path in iter_python_files([target]):
+                try:
+                    modules.append(ModuleSource.load(path, root))
+                except SyntaxError:
+                    continue  # already an E001 from lint_paths
+            model = RepoModel(modules)
+        if args.concurrency:
+            from .lint.concurrency import analyze_concurrency
+
+            issues.extend(analyze_concurrency([target], root, model=model))
+        if args.flow:
+            from .lint.flow import analyze_flow
+
+            issues.extend(analyze_flow([target], root, model=model))
     except LintError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    issues.sort(key=lambda issue: (issue.path, issue.line, issue.col, issue.rule))
 
     if args.write_baseline:
-        Baseline().save(baseline_path, issues)
-        print(f"wrote {len(issues)} issue(s) to baseline {baseline_path}")
+        changed = Baseline().save(baseline_path, issues)
+        if changed:
+            print(f"wrote {len(issues)} issue(s) to baseline {baseline_path}")
+        else:
+            print(f"baseline {baseline_path} already up to date")
         return 0
+
+    stale: list[tuple[str, str, str]] = []
+    if baseline is not None:
+        stale = baseline.stale_entries(issues)
+        issues = [issue for issue in issues if not baseline.contains(issue)]
 
     errors = sum(1 for issue in issues if issue.severity == "error")
     if issues:
         print(format_issues(issues))
+    for rule, rel, text in stale:
+        print(
+            f"lint: baseline entry no longer occurs: {rule} {rel}: {text.strip()}"
+        )
+    if stale:
+        print(
+            f"lint: baseline {baseline_path} is stale "
+            f"({len(stale)} fixed entr{'y' if len(stale) == 1 else 'ies'}); "
+            "refresh it with --write-baseline"
+        )
     plan_errors = 0
     if args.plans:
         if issues:
             print()
         plan_errors = _lint_plans()
-    if not issues and not plan_errors:
+    if not issues and not plan_errors and not stale:
         checked = str(target)
         print(f"lint: {checked}: clean")
-    if plan_errors or errors:
+    if plan_errors or errors or stale:
         return 1
     return 1 if (args.strict and issues) else 0
+
+
+def _run_locks(args: argparse.Namespace) -> int:
+    """Print the declared lock hierarchy and observed lock-order graph.
+
+    ``repro locks`` runs the same static concurrency analysis as
+    ``repro lint --concurrency`` but renders the full picture — every
+    declared lock with its level and flags, every observed may-hold edge,
+    and whether the graph is a DAG.  Exit 1 if a cycle (R007) exists.
+    """
+    from .lint.concurrency import build_concurrency_analysis, render_lock_report
+
+    resolved = _lint_target(args.query)
+    if resolved is None:
+        print(f"locks: path {args.query!r} does not exist", file=sys.stderr)
+        return 2
+    target, root = resolved
+    analysis = build_concurrency_analysis([target], root)
+    print(render_lock_report(analysis))
+    return 1 if any(issue.rule == "R007" for issue in analysis.issues) else 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -655,14 +737,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["list", "all", "explain", "lint", "bench", "synth", "serve", "chaos"],
+        + [
+            "list",
+            "all",
+            "explain",
+            "lint",
+            "locks",
+            "bench",
+            "synth",
+            "serve",
+            "chaos",
+        ],
         help=(
             "which experiment to run ('list' to enumerate, 'all' for "
             "everything, 'explain' to print a query plan, 'lint' to run the "
-            "privacy-invariant static analyzer, 'bench' to compare "
-            "the execution backends, 'synth' to run MCMC graph synthesis, "
-            "'serve' to run the HTTP measurement service, 'chaos' to run "
-            "the randomized fault-injection harness)"
+            "privacy-invariant static analyzer, 'locks' to print the "
+            "declared lock hierarchy and lock-order graph, 'bench' to "
+            "compare the execution backends, 'synth' to run MCMC graph "
+            "synthesis, 'serve' to run the HTTP measurement service, "
+            "'chaos' to run the randomized fault-injection harness)"
         ),
     )
     parser.add_argument(
@@ -671,7 +764,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "query name for 'explain' (omit to list the available queries); "
-            "file or directory path for 'lint' (defaults to the repro package)"
+            "file or directory path for 'lint'/'locks' (defaults to the "
+            "repro package)"
         ),
     )
     parser.add_argument("--scale", type=float, default=None, help="graph-size multiplier")
@@ -716,6 +810,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--plans",
         action="store_true",
         help="for 'lint': also statically verify every named query plan",
+    )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "for 'lint': run the interprocedural lock-order/deadlock "
+            "analysis (rules R007-R009)"
+        ),
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "for 'lint': run the interprocedural privacy taint analysis "
+            "(rule R010)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -897,10 +1007,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if args.experiment == "lint":
         return _run_lint(args)
+    if args.experiment == "locks":
+        return _run_locks(args)
     if args.query is not None:
         parser.error(
             f"unexpected argument {args.query!r} "
-            "(only 'explain' and 'lint' take one)"
+            "(only 'explain', 'lint' and 'locks' take one)"
         )
     if args.experiment == "bench":
         return _run_bench(args)

@@ -34,11 +34,12 @@ deliberate trade of memory for cross-dataset code compatibility.
 from __future__ import annotations
 
 import sys
-import threading
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from ..sanitize import ordered_lock
 
 __all__ = [
     "Interner",
@@ -70,7 +71,7 @@ class Interner:
         # .parallel runs N chains in threads) cannot assign one code to two
         # atoms.  Reads of existing codes stay lock-free: the dict is
         # append-only, so a hit is always a committed, final value.
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("columnar.interner", 75)  # lock-order: 75
 
     def __len__(self) -> int:
         return len(self._atoms)

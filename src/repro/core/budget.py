@@ -38,6 +38,7 @@ from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from ..exceptions import BudgetExceededError, InvalidEpsilonError
+from ..sanitize import ordered_rlock
 from .laplace import validate_epsilon
 
 __all__ = ["BudgetLedger", "PrivacyBudget"]
@@ -49,6 +50,17 @@ class _Charge:
 
     epsilon: float
     description: str
+
+
+def _budget_lock():
+    """Per-scope budget lock; every PrivacyBudget instance is a peer.
+
+    Sibling budgets are acquired together at one level by the sorted
+    ``ExitStack`` discipline of :meth:`BudgetLedger.charge` (rule R002
+    checks the sort order statically; ``peers`` licenses the same-level
+    stack).
+    """
+    return ordered_rlock("core.budget", 60, peers=True)  # lock-order: 60 peers
 
 
 @dataclass
@@ -71,7 +83,7 @@ class PrivacyBudget:
     _spent: float = field(default=0.0, init=False)
     _charges: list[_Charge] = field(default_factory=list, init=False)
     _lock: threading.RLock = field(
-        default_factory=threading.RLock, init=False, repr=False, compare=False
+        default_factory=_budget_lock, init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -167,7 +179,7 @@ class BudgetLedger:
 
     def __init__(self) -> None:
         self._budgets: dict[str, PrivacyBudget] = {}
-        self._lock = threading.RLock()
+        self._lock = ordered_rlock("core.ledger", 50)  # lock-order: 50
 
     def register(self, name: str, total_epsilon: float) -> PrivacyBudget:
         """Create (or idempotently fetch) the budget for a protected source.

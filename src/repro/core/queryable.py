@@ -46,6 +46,7 @@ import numpy as np
 
 from ..exceptions import PlanError
 from ..resilience.deadline import check_deadline
+from ..sanitize import ordered_rlock
 from .aggregation import NoisyCountResult, noisy_sum
 from .budget import BudgetLedger
 from .dataset import WeightedDataset
@@ -116,7 +117,7 @@ class PrivacySession:
         # the executor's memo tables are not thread-safe, so concurrent
         # measurements of one session take turns.  Re-entrant because a
         # locked caller (the measurement service) may itself call measure().
-        self._measure_lock = threading.RLock()
+        self._measure_lock = ordered_rlock("core.measure", 40, io_ok=True)  # lock-order: 40 io-ok
 
     # ------------------------------------------------------------------
     def protect(

@@ -12,6 +12,19 @@ Two analyzers live here:
 * :mod:`repro.lint.rules` + :mod:`repro.lint.engine` — an AST linter over
   the source tree enforcing the repo-wide privacy/concurrency invariants
   (rules R001–R006; run it with ``repro lint``).
+* :mod:`repro.lint.concurrency` — the interprocedural lock-order analysis
+  (rules R007–R009): every lock is assigned a level in the declared
+  hierarchy via ``# lock-order:`` annotations, the may-hold graph is built
+  across function calls, and cycles (potential deadlocks), hierarchy
+  violations and blocking calls under non-``io-ok`` locks are reported.
+  ``repro lint --concurrency`` runs it; ``repro locks`` prints the
+  hierarchy and graph.  :mod:`repro.sanitize` enforces the same hierarchy
+  at runtime when ``REPRO_SANITIZE=1``.
+* :mod:`repro.lint.flow` — the interprocedural privacy taint analysis
+  (rule R010): values derived from protected records/weights are tracked
+  through assignments and calls until they die in a sanctioned release
+  (``NoisyCountResult``) or reach a sink (logs, exception messages, HTTP
+  response bodies, pickled payloads).  ``repro lint --flow`` runs it.
 
 :mod:`repro.lint.portability` is the shared portability analysis: the shard
 codec (:mod:`repro.shard.plan`) delegates to it, so the static checker and
@@ -19,6 +32,13 @@ the runtime wire format can never disagree about what crosses a process
 boundary.
 """
 
+from .concurrency import (
+    ConcurrencyAnalysis,
+    analyze_concurrency,
+    build_concurrency_analysis,
+    find_cycles,
+    render_lock_report,
+)
 from .engine import (
     Baseline,
     LintError,
@@ -28,6 +48,7 @@ from .engine import (
     format_issues,
     lint_paths,
 )
+from .flow import analyze_flow
 from .plans import (
     PlanIssue,
     StabilityReport,
@@ -48,6 +69,7 @@ from .rules import DEFAULT_RULES, RELEASE_PACKAGES
 
 __all__ = [
     "Baseline",
+    "ConcurrencyAnalysis",
     "DEFAULT_RULES",
     "LintError",
     "LintIssue",
@@ -58,11 +80,16 @@ __all__ = [
     "Rule",
     "StabilityReport",
     "UnportablePlanError",
+    "analyze_concurrency",
+    "analyze_flow",
+    "build_concurrency_analysis",
     "check_portability",
     "check_portable",
+    "find_cycles",
     "format_bounds",
     "format_issues",
     "lint_paths",
+    "render_lock_report",
     "plan_portability_issues",
     "portability_error",
     "stability_bounds",

@@ -169,7 +169,13 @@ class Baseline:
             raise LintError(f"cannot load baseline {path}: {exc}") from exc
         return cls(entries)
 
-    def save(self, path: Path, issues: Iterable[LintIssue]) -> None:
+    def save(self, path: Path, issues: Iterable[LintIssue]) -> bool:
+        """Write the baseline for ``issues``; returns True if the file changed.
+
+        The payload is stable-sorted, and an up-to-date file is left
+        untouched — so re-running ``--write-baseline`` never churns
+        timestamps or version control.
+        """
         payload = {
             "issues": sorted(
                 (
@@ -179,10 +185,29 @@ class Baseline:
                 key=lambda entry: (entry["path"], entry["rule"], entry["text"]),
             )
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        text = json.dumps(payload, indent=2) + "\n"
+        try:
+            if path.read_text(encoding="utf-8") == text:
+                return False
+        except OSError:
+            pass
+        path.write_text(text, encoding="utf-8")
+        return True
 
     def contains(self, issue: LintIssue) -> bool:
         return issue.baseline_key() in self.entries
+
+    def stale_entries(
+        self, issues: Iterable[LintIssue]
+    ) -> list[tuple[str, str, str]]:
+        """Baseline entries that no current (pre-baseline) issue matches.
+
+        A non-empty result means grandfathered findings have been fixed and
+        the baseline should be refreshed with ``--write-baseline`` so it
+        cannot mask a future regression at the same site.
+        """
+        current = {issue.baseline_key() for issue in issues}
+        return sorted(self.entries - current)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:

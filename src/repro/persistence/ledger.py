@@ -109,11 +109,18 @@ class DurableLedger(BudgetLedger):
                         cost, budgets[name].remaining, source=name
                     )
             try:
-                spent_after = self._store.charge(
+                # The WAL write happens under the budget locks on purpose:
+                # the two-phase durable charge is only atomic if no sibling
+                # thread can read or charge these scopes between the store
+                # commit and the in-memory sync below.  The sqlite write is
+                # a bounded single-row WAL append, and the locks are
+                # per-scope, so unrelated tenants are unaffected.
+                spent_after = self._store.charge(  # lint: disable=R009
                     self._scope, validated, description
                 )
             except BudgetExceededError:
-                self._refresh_locked(budgets)
+                # Re-sync before surfacing: same atomicity argument.
+                self._refresh_locked(budgets)  # lint: disable=R009
                 raise
             for name, cost in validated.items():
                 budgets[name]._sync_spent(spent_after[name])
@@ -136,7 +143,10 @@ class DurableLedger(BudgetLedger):
         with ExitStack() as stack:
             for name in sorted(budgets):
                 stack.enter_context(budgets[name].lock)
-            self._refresh_locked(budgets)
+            # Reading durable spends under the budget locks keeps the
+            # refresh exact: no charge can interleave between the store
+            # read and the in-memory sync.  Bounded single-scope read.
+            self._refresh_locked(budgets)  # lint: disable=R009
 
     def _refresh_locked(self, budgets: dict[str, PrivacyBudget]) -> None:
         durable = self._store.spent(self._scope)

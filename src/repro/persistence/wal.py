@@ -54,13 +54,13 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-import threading
 import time
 import uuid
 from typing import Any, Callable, Iterator
 
 from ..exceptions import BudgetExceededError, InvalidEpsilonError
 from ..resilience.faults import inject
+from ..sanitize import ordered_rlock
 from .snapshot import LedgerState, replay, state_from_json, state_to_json
 
 __all__ = ["LedgerStore", "decode_record", "encode_record"]
@@ -162,7 +162,7 @@ class LedgerStore:
         self.snapshot_every = snapshot_every
         # Invoked between the intent append and the commit record (tests).
         self.fault_after_intent: Callable[[], None] | None = None
-        self._mutex = threading.RLock()
+        self._mutex = ordered_rlock("persistence.wal", 70, io_ok=True)  # lock-order: 70 io-ok
         self._commits_since_snapshot = 0
         self._closed = False
         # One connection, shared across threads under ``_mutex``; explicit

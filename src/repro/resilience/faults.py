@@ -43,9 +43,9 @@ import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from threading import Lock
 
 from ..exceptions import FaultInjectedError
+from ..sanitize import ordered_lock
 
 __all__ = [
     "INJECTION_POINTS",
@@ -148,7 +148,7 @@ class FaultPlan:
         self._rules = {}
         for rule in rules:
             self.add(rule)
-        self._lock = Lock()
+        self._lock = ordered_lock("resilience.faults", 90)  # lock-order: 90
         self._hits = {}
         self._fired = {}
 

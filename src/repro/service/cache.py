@@ -30,8 +30,9 @@ scheduler after the ledger accepted the batch charge, never speculatively.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
+
+from ..sanitize import ordered_lock
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,7 +48,7 @@ class AnswerCache:
     def __init__(self, max_entries: int = 4096) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be a positive integer")
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("service.cache", 18)  # lock-order: 18
         # Entries hold the plan alongside the answer, so a cached plan's id
         # stays pinned exactly as long as its entries live.
         self._answers: OrderedDict[

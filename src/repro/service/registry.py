@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 from ..core.dataset import WeightedDataset
 from ..core.queryable import PrivacySession, Queryable
 from ..exceptions import ServiceError, SessionExistsError
+from ..sanitize import ordered_rlock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..persistence.wal import LedgerStore
@@ -116,7 +117,7 @@ class HostedSession:
         # close/re-create by a sibling worker evicts this replica instead of
         # letting it serve a stale dataset.
         self.generation: str | None = None
-        self._lock = threading.RLock()
+        self._lock = ordered_rlock("service.session", 14)  # lock-order: 14
         self._queries: dict[str, Queryable] = {}
 
     # ------------------------------------------------------------------
@@ -196,7 +197,7 @@ class SessionRegistry:
         on_restore: Callable[[HostedSession], None] | None = None,
         on_evict: Callable[[str], None] | None = None,
     ) -> None:
-        self._lock = threading.RLock()
+        self._lock = ordered_rlock("service.registry", 10, io_ok=True)  # lock-order: 10 io-ok
         self._store = store
         self._on_restore = on_restore
         self._on_evict = on_evict

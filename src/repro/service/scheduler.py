@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import os
 import sqlite3
-import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -51,6 +50,7 @@ from ..resilience.deadline import Deadline, deadline_scope
 from ..resilience.policy import CircuitBreaker, RetryPolicy
 from .cache import AnswerCache
 from .registry import HostedSession, SessionRegistry
+from ..sanitize import ordered_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.aggregation import NoisyCountResult
@@ -142,7 +142,7 @@ class BatchingScheduler:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-service"
         )
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("service.scheduler", 16)  # lock-order: 16
         self._queues: dict[str, list[_PendingRequest]] = {}
         self._draining: set[str] = set()
         self._max_pending = max_pending

@@ -37,7 +37,6 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
-import threading
 import time
 import multiprocessing as mp
 from multiprocessing.connection import wait as connection_wait
@@ -45,6 +44,7 @@ from typing import Any, Callable, Sequence
 
 from ..exceptions import FaultInjectedError
 from ..resilience.faults import inject
+from ..sanitize import ordered_lock
 
 __all__ = ["PoolError", "WorkerCrashError", "PoolTask", "ProcessPool"]
 
@@ -211,7 +211,7 @@ class ProcessPool:
         self._closed = False
         # Serialises concurrent shutdown() callers: the teardown runs once,
         # later callers block until it finishes, then return.
-        self._shutdown_lock = threading.Lock()
+        self._shutdown_lock = ordered_lock("shard.pool.shutdown", 30, io_ok=True)  # lock-order: 30 io-ok
         # Start the parent's resource tracker *before* any worker exists.
         # A fork child created while the tracker is still unlaunched lazily
         # starts its own private tracker on first shared-memory attach; that

@@ -1,0 +1,25 @@
+"""R009 fixture: blocking calls under a lock not declared ``io-ok``.
+
+Expected findings: exactly two R009 — the direct ``time.sleep`` in
+``slow_direct`` and the transitive one reached through ``_pause`` in
+``slow_indirect``.
+"""
+
+import threading
+import time
+
+state_lock = threading.Lock()  # lock-order: 10 blk.state
+
+
+def _pause():
+    time.sleep(0.1)
+
+
+def slow_direct():
+    with state_lock:
+        time.sleep(0.1)
+
+
+def slow_indirect():
+    with state_lock:
+        _pause()

@@ -1,0 +1,22 @@
+"""R007 fixture: two functions acquire the same locks in opposite orders.
+
+Expected findings: exactly one R007 cycle (cyc.a -> cyc.b -> cyc.a) and
+exactly one R008 hierarchy violation (the inverted edge in ``backward``).
+"""
+
+import threading
+
+lock_a = threading.Lock()  # lock-order: 10 cyc.a
+lock_b = threading.Lock()  # lock-order: 20 cyc.b
+
+
+def forward():
+    with lock_a:
+        with lock_b:  # lint: disable=R002
+            pass
+
+
+def backward():
+    with lock_b:
+        with lock_a:  # lint: disable=R002
+            pass

@@ -1,0 +1,22 @@
+"""Clean twin of ``bad_blocking.py``.
+
+The sleep either happens outside the lock or under a lock declared
+``io-ok`` (blocking by design, like the WAL mutex).  Expected findings:
+none.
+"""
+
+import threading
+import time
+
+io_lock = threading.Lock()  # lock-order: 10 goodblk.io io-ok
+
+
+def sleep_outside():
+    time.sleep(0.1)
+    with io_lock:
+        pass
+
+
+def sleep_under_io_ok():
+    with io_lock:
+        time.sleep(0.1)

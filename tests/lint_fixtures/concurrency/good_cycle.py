@@ -1,0 +1,21 @@
+"""Clean twin of ``bad_cycle.py``: both call paths respect the hierarchy.
+
+Expected findings: none.
+"""
+
+import threading
+
+lock_a = threading.Lock()  # lock-order: 10 goodcyc.a
+lock_b = threading.Lock()  # lock-order: 20 goodcyc.b
+
+
+def forward():
+    with lock_a:
+        with lock_b:  # lint: disable=R002
+            pass
+
+
+def also_forward():
+    with lock_a:
+        with lock_b:  # lint: disable=R002
+            pass

@@ -1,0 +1,30 @@
+"""Clean twin of ``bad_taint.py``: every release is sanctioned.
+
+Protected values die in ``NoisyCountResult`` (the release object) or in
+cardinality-free builtins (``len``) before reaching any sink.  Expected
+findings: none.
+"""
+
+
+class WeightedDataset:
+    """Stub protected type; the analyzer keys on the class name."""
+
+
+class NoisyCountResult:
+    """Stub release object; its name sanctions the wrapped value."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+def log_released(dataset: WeightedDataset, log):
+    released = NoisyCountResult(dataset.total_weight())
+    log.info("released %r", released)
+
+
+def log_count(dataset: WeightedDataset, log):
+    log.info("records: %d", len(dataset.records()))
+
+
+def raise_plain(dataset: WeightedDataset):
+    raise ValueError("query rejected: budget exhausted")

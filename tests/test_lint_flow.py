@@ -1,0 +1,144 @@
+"""Tests for the privacy taint analysis (rule R010).
+
+The fixture pair in ``tests/lint_fixtures/flow`` plants four distinct
+taint-to-sink paths (log, exception message, pickle, HTTP response body),
+each laundered through renames or helper calls so the name-based R004
+cannot see them; the assertions are exact line sets, so any false
+negative fails the build.  The clean twin releases the same values
+through the sanctioned channels and must stay silent.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import analyze_flow
+
+FIXTURES = Path(__file__).parent / "lint_fixtures" / "flow"
+REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+
+def _lines(name: str) -> list[tuple[str, int]]:
+    issues = analyze_flow([FIXTURES / "service" / f"{name}.py"], FIXTURES)
+    return [(issue.rule, issue.line) for issue in issues]
+
+
+def test_taint_fixture_catches_all_four_planted_leaks():
+    found = _lines("bad_taint")
+    assert [rule for rule, _ in found] == ["R010", "R010", "R010", "R010"]
+    # log via helper, raise, pickle, wfile.write — one each, at the
+    # planted sites.
+    assert [line for _, line in found] == [29, 34, 38, 43]
+
+
+def test_taint_clean_twin_is_clean():
+    assert _lines("good_taint") == []
+
+
+def test_repro_package_has_no_taint_findings():
+    assert analyze_flow([REPRO], REPRO) == []
+
+
+# ----------------------------------------------------------------------
+# Targeted semantics on synthetic modules
+# ----------------------------------------------------------------------
+def _analyze(tmp_path: Path, source: str) -> list[int]:
+    module = tmp_path / "service" / "case.py"
+    module.parent.mkdir(exist_ok=True)
+    module.write_text(textwrap.dedent(source), encoding="utf-8")
+    return [issue.line for issue in analyze_flow([tmp_path], tmp_path)]
+
+
+def test_interprocedural_return_taint(tmp_path):
+    assert _analyze(
+        tmp_path,
+        """
+        class WeightedDataset:
+            pass
+
+        def passthrough(value):
+            return value
+
+        def leak(dataset: WeightedDataset, log):
+            log.info(passthrough(dataset.weight("x")))
+        """,
+    ) == [9]
+
+
+def test_param_leak_reported_at_call_site(tmp_path):
+    assert _analyze(
+        tmp_path,
+        """
+        class WeightedDataset:
+            pass
+
+        def _reply(log, payload):
+            log.info(payload)
+
+        def handler(dataset: WeightedDataset, log):
+            _reply(log, dataset.total_weight())
+        """,
+    ) == [9]
+
+
+def test_sanctioned_release_kills_taint(tmp_path):
+    assert _analyze(
+        tmp_path,
+        """
+        class WeightedDataset:
+            pass
+
+        class NoisyCountResult:
+            def __init__(self, value):
+                self.value = value
+
+        def release(dataset: WeightedDataset, log):
+            log.info("%r", NoisyCountResult(dataset.total_weight()))
+            log.info("%d", len(dataset.records()))
+        """,
+    ) == []
+
+
+def test_dataset_object_at_sink_is_flagged(tmp_path):
+    assert _analyze(
+        tmp_path,
+        """
+        class WeightedDataset:
+            pass
+
+        def dump(dataset: WeightedDataset, log):
+            log.info("state: %r", dataset)
+        """,
+    ) == [6]
+
+
+def test_sinks_outside_release_packages_are_ignored(tmp_path):
+    module = tmp_path / "scripts" / "case.py"
+    module.parent.mkdir()
+    module.write_text(
+        textwrap.dedent(
+            """
+            class WeightedDataset:
+                pass
+
+            def debug(dataset: WeightedDataset, log):
+                log.info(dataset.total_weight())
+            """
+        ),
+        encoding="utf-8",
+    )
+    assert analyze_flow([tmp_path], tmp_path) == []
+
+
+def test_suppression_comment_is_honoured(tmp_path):
+    assert _analyze(
+        tmp_path,
+        """
+        class WeightedDataset:
+            pass
+
+        def sanctioned_debug(dataset: WeightedDataset, log):
+            log.info(dataset.total_weight())  # lint: disable=R010
+        """,
+    ) == []
